@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+*prints* the rows/series the paper reports (run with ``-s`` to see them),
+then asserts the relational shape — who wins, by roughly what factor —
+rather than absolute seconds (our substrate is a simulator, not the
+authors' Emulab).
+
+Simulation benchmarks run exactly once per session (they are deterministic
+and individually expensive); ``benchmark.pedantic`` with one round records
+their wall-clock cost without re-running the simulation dozens of times.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def run_once():
+    return once

@@ -1,0 +1,165 @@
+"""Benchmarks for the Section III.D / future-work extensions.
+
+Three design alternatives the paper sketches but never measured:
+
+1. **Supernode relay vs server relay** — when NATed peers need a relay,
+   routing through elected volunteer supernodes keeps the intermediate
+   data off the project server entirely.
+2. **Adaptive replication** — reputation + spot-checking replaces the
+   fixed 2x redundancy, cutting executed results once trust is built.
+3. **TCP-Nice uploads** — background map-output uploads stop competing
+   with the inter-client transfers reducers are blocked on.
+"""
+
+import pytest
+
+from repro.boinc import ClientConfig, ServerConfig
+from repro.core import BoincMRConfig, MapReduceJobSpec, VolunteerCloud
+from repro.net import LinkSpec, NatBox, NatType
+
+SYM = NatBox(nat_type=NatType.SYMMETRIC)
+
+
+# ---------------------------------------------------------------------------
+# 1. Supernode overlay vs server relay
+# ---------------------------------------------------------------------------
+
+def _natted_cloud(seed=2):
+    cloud = VolunteerCloud(seed=seed)
+    # Two public, well-provisioned volunteers (supernode candidates) and a
+    # NATed majority.
+    cloud.add_volunteers(3, mr=True, link_spec=LinkSpec(200e6, 200e6, 0.001))
+    cloud.add_volunteers(15, mr=True, nat=SYM)
+    return cloud
+
+
+@pytest.fixture(scope="module")
+def relay_comparison():
+    spec = MapReduceJobSpec("relayed", n_maps=15, n_reducers=4,
+                            input_size=600e6)
+    via_server = _natted_cloud()
+    job_s = via_server.run_job(spec, timeout=48 * 3600)
+
+    via_overlay = _natted_cloud()
+    via_overlay.enable_supernode_overlay(n_supernodes=3, fanout=2)
+    job_o = via_overlay.run_job(spec, timeout=48 * 3600)
+    return (via_server, job_s), (via_overlay, job_o)
+
+
+def _server_link_gb(cloud):
+    host = cloud.server_host
+    return (host.uplink.bytes_carried + host.downlink.bytes_carried) / 1e9
+
+
+def test_supernode_summary(benchmark, relay_comparison):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    (srv, job_s), (ovl, job_o) = relay_comparison
+    print()
+    print("Relay for NATed peers: project server vs supernode overlay")
+    print(f"  server relay:    makespan {job_s.makespan():7.0f}s  "
+          f"server link carried {_server_link_gb(srv):.2f} GB")
+    print(f"  supernode relay: makespan {job_o.makespan():7.0f}s  "
+          f"server link carried {_server_link_gb(ovl):.2f} GB  "
+          f"supernodes {[h.name for h in ovl.overlay.supernodes]}")
+
+
+def test_supernodes_offload_server(relay_comparison):
+    (srv, _), (ovl, _) = relay_comparison
+    assert _server_link_gb(ovl) < 0.8 * _server_link_gb(srv)
+    assert ovl.connectivity.method_counts().get("relay", 0) > 0
+
+
+def test_both_relay_modes_complete(relay_comparison):
+    (_, job_s), (_, job_o) = relay_comparison
+    assert job_s.finished and job_o.finished
+
+
+# ---------------------------------------------------------------------------
+# 2. Adaptive replication
+# ---------------------------------------------------------------------------
+
+def _run_adaptive(adaptive: bool, seed=5):
+    cloud = VolunteerCloud(seed=seed, server_config=ServerConfig(
+        adaptive_replication=adaptive, adaptive_trust_threshold=2,
+        adaptive_spot_check_rate=0.1))
+    cloud.add_volunteers(12, mr=True)
+    cloud.run_job(MapReduceJobSpec("warm", n_maps=12, n_reducers=3,
+                                   input_size=120e6), timeout=48 * 3600)
+    job = cloud.run_job(MapReduceJobSpec("main", n_maps=12, n_reducers=3,
+                                         input_size=120e6), timeout=48 * 3600)
+    executed = len([r for r in cloud.server.db.results.values()
+                    if r.reported_at is not None])
+    return cloud, job, executed
+
+
+@pytest.fixture(scope="module")
+def adaptive_comparison():
+    return _run_adaptive(False), _run_adaptive(True)
+
+
+def test_adaptive_summary(benchmark, adaptive_comparison):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    (c_f, job_f, exec_f), (c_a, job_a, exec_a) = adaptive_comparison
+    accepts = len(c_a.tracer.select("validator.adaptive_accept"))
+    escalations = len(c_a.tracer.select("validator.adaptive_escalate"))
+    print()
+    print("Fixed 2x replication vs adaptive replication (2 jobs, 12 hosts)")
+    print(f"  fixed:    main makespan {job_f.makespan():6.0f}s, "
+          f"{exec_f} results executed")
+    print(f"  adaptive: main makespan {job_a.makespan():6.0f}s, "
+          f"{exec_a} results executed "
+          f"({accepts} single-accepts, {escalations} escalations)")
+
+
+def test_adaptive_cuts_executed_work(adaptive_comparison):
+    (_c_f, _job_f, exec_f), (_c_a, _job_a, exec_a) = adaptive_comparison
+    assert exec_a < exec_f
+
+
+def test_adaptive_does_not_hurt_makespan(adaptive_comparison):
+    (_c_f, job_f, _), (_c_a, job_a, _) = adaptive_comparison
+    assert job_a.makespan() <= job_f.makespan() * 1.15
+
+
+# ---------------------------------------------------------------------------
+# 3. TCP-Nice background uploads
+# ---------------------------------------------------------------------------
+
+def _run_nice(nice: bool, seed=3):
+    cloud = VolunteerCloud(
+        seed=seed,
+        # Map outputs are uploaded for fallback AND served to peers — the
+        # exact contention Nice is for.
+        mr_config=BoincMRConfig(upload_map_outputs=True),
+        client_config=ClientConfig(nice_uploads=nice))
+    # Thin uplinks make the contention visible.
+    cloud.add_volunteers(12, mr=True,
+                         link_spec=LinkSpec(30e6, 6e6, 0.010))
+    job = cloud.run_job(MapReduceJobSpec(
+        "nice", n_maps=12, n_reducers=3, input_size=240e6),
+        timeout=48 * 3600)
+    return cloud, job
+
+
+@pytest.fixture(scope="module")
+def nice_comparison():
+    return _run_nice(False), _run_nice(True)
+
+
+def test_nice_summary(benchmark, nice_comparison):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    (c0, job0), (c1, job1) = nice_comparison
+    print()
+    print("Map-output uploads: greedy TCP vs TCP-Nice background flows")
+    print(f"  greedy: total {job0.makespan():7.0f}s")
+    print(f"  nice:   total {job1.makespan():7.0f}s")
+
+
+def test_nice_uploads_help_or_tie_on_thin_uplinks(nice_comparison):
+    (_c0, job0), (_c1, job1) = nice_comparison
+    assert job1.makespan() <= job0.makespan() * 1.05
+
+
+def test_both_nice_modes_complete(nice_comparison):
+    (_c0, job0), (_c1, job1) = nice_comparison
+    assert job0.finished and job1.finished

@@ -1,0 +1,62 @@
+"""Benchmark: regenerate Fig. 4 (map-phase backoff straggler timeline).
+
+Prints the per-result ASCII Gantt chart for the 15-node / 15-map-WU
+scenario and asserts the figure's story:
+
+- one node's report is delayed far beyond everyone else's (by an interval
+  on the order of the 600 s backoff cap);
+- outputs were *uploaded* long before they were *reported* (the
+  upload-vs-report split of Section IV.B);
+- the reduce phase cannot start until that report lands.
+"""
+
+import pytest
+
+from repro.experiments import run_fig4
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return run_fig4(base_seed=1, min_straggler_lag=120.0)
+
+
+def test_fig4_timeline(benchmark, fig4):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print(fig4.render())
+    lags = sorted((t.report_lag for t in fig4.timelines
+                   if t.report_lag is not None), reverse=True)
+    print(f"report lags (s): {[round(x) for x in lags[:8]]} ...")
+    print(f"reduce phase started at t={fig4.reduce_start:.0f}s")
+
+
+def test_straggler_dominates_field(fig4):
+    others = [t.report_lag for t in fig4.timelines
+              if t.report_lag is not None and t.host != fig4.straggler_host]
+    assert fig4.straggler_lag > 2 * max(others)
+
+
+def test_straggler_lag_is_backoff_scale(fig4):
+    """Delay "sometimes larger than the backoff interval (600 seconds)"
+    — ours must at least be a large fraction of the cap."""
+    assert fig4.straggler_lag > 120.0
+    assert fig4.straggler_lag < 2 * 600.0 + 60.0
+
+
+def test_uploads_precede_reports(fig4):
+    tracer = fig4.result.tracer
+    uploads = {r["result"]: r.time
+               for r in tracer.select("server.upload_received")}
+    reports = {r["result"]: r.time
+               for r in tracer.select("sched.report", job="fig4", kind="map")}
+    checked = 0
+    for rid, upload_t in uploads.items():
+        if rid in reports:
+            assert upload_t <= reports[rid] + 1e-9
+            checked += 1
+    assert checked >= 10
+
+
+def test_reduce_waits_for_last_map_report(fig4):
+    last_map_report = max(t.reported_at for t in fig4.timelines)
+    assert fig4.reduce_start >= last_map_report

@@ -1,0 +1,54 @@
+"""Benchmark: the Section III.D NAT-traversal ladder, quantified.
+
+The paper sketches the ladder (direct -> connection reversal -> hole
+punching -> relay) as future work; this bench runs BOINC-MR over an
+Internet-like NAT population under each configuration and prints, per
+rung: how transfers connected, how many fell back to the server, and the
+job makespan.
+"""
+
+import pytest
+
+from repro.experiments import run_ladder_study
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return run_ladder_study(seed=1)
+
+
+def test_ladder_table(benchmark, outcomes):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print("NAT traversal ladder (20 BOINC-MR nodes, Internet NAT mix)")
+    for o in outcomes:
+        print(f"  {o.label:16s} total {o.total:7.1f}s  peer {o.peer_fetches:4d}"
+              f"  server-fallback {o.server_fallbacks:4d}  {o.method_counts}")
+
+
+def test_each_rung_recovers_more_peer_transfers(outcomes):
+    peer = [o.peer_fetches for o in outcomes]
+    assert peer == sorted(peer), "ladder rungs must monotonically help"
+    assert peer[-1] > peer[0]
+
+
+def test_full_ladder_needs_no_server_fallback(outcomes):
+    full = next(o for o in outcomes if o.label == "full_ladder")
+    assert full.server_fallbacks == 0
+
+
+def test_direct_only_relies_on_server(outcomes):
+    direct = next(o for o in outcomes if o.label == "direct_only")
+    assert direct.server_fallbacks > direct.peer_fetches
+
+
+def test_relay_only_appears_in_full_ladder(outcomes):
+    for o in outcomes:
+        if o.label != "full_ladder":
+            assert o.method_counts.get("relay", 0) == 0
+
+
+def test_jobs_complete_under_every_ladder(outcomes):
+    for o in outcomes:
+        assert o.result.job.finished
+        assert o.total > 0

@@ -1,0 +1,80 @@
+"""Benchmark: scaling and redundancy sweeps (figure-style extensions).
+
+Two curves Table I gestures at but never isolates:
+
+1. **Node scaling** — same 1 GB job, growing cluster.  Speedup saturates
+   and then *reverses*: with ~2 tasks per node the replication floor,
+   scheduling round-trips, and backoff windows dominate, so more
+   volunteers make the job slower.  (This is the quantitative face of the
+   paper's "requires many machines to achieve meaningful results"
+   caveat.)
+2. **Replication factor** — redundancy overhead vs byzantine resilience:
+   no replication accepts corrupt results; the paper's 2/2 never does,
+   at ~2.3x executed work.
+"""
+
+import pytest
+
+from repro.analysis import render_series
+from repro.experiments import node_scaling, replication_sweep, speedup
+
+
+@pytest.fixture(scope="module")
+def node_points():
+    return node_scaling((5, 10, 20, 40), seed=1)
+
+
+@pytest.fixture(scope="module")
+def replication_points():
+    return replication_sweep(byzantine_rate=0.2, seed=5)
+
+
+def test_node_scaling_series(benchmark, node_points):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print(render_series([(p.x, p.total) for p in node_points],
+                        value_label="s total",
+                        title="Node scaling (1 GB word count, BOINC-MR)"))
+    print("speedup vs 5 nodes:",
+          {x: round(s, 2) for x, s in speedup(node_points)})
+
+
+def test_speedup_then_saturation(node_points):
+    totals = {p.x: p.total for p in node_points}
+    assert totals[10] < totals[5]          # more nodes help at first...
+    assert totals[40] > 0.7 * totals[20]   # ...then saturate (or reverse)
+
+
+def test_no_superlinear_speedup(node_points):
+    for x, s in speedup(node_points):
+        assert s <= x / node_points[0].x + 0.25
+
+
+def test_replication_series(benchmark, replication_points):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print("Replication factor vs overhead and byzantine resilience "
+          "(20% byzantine hosts)")
+    for o in replication_points:
+        print(f"  {o.replication}/{o.quorum}: total {o.total:7.0f}s  "
+              f"overhead {o.overhead:.2f}x  "
+              f"corrupt accepted {o.corrupt_accepted}/{o.workunits}")
+
+
+def test_no_replication_is_cheap_but_unsafe(replication_points):
+    r1 = next(o for o in replication_points if o.quorum == 1)
+    assert r1.overhead < 1.5
+    assert r1.corrupt_accepted > 0
+
+
+def test_paper_replication_is_safe(replication_points):
+    r2 = next(o for o in replication_points
+              if (o.replication, o.quorum) == (2, 2))
+    assert r2.corrupt_accepted == 0
+    assert r2.overhead >= 2.0
+
+
+def test_overhead_monotone_in_replication(replication_points):
+    overheads = [o.overhead for o in
+                 sorted(replication_points, key=lambda o: o.replication)]
+    assert overheads == sorted(overheads)

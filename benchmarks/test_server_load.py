@@ -1,0 +1,58 @@
+"""Benchmark: the server-congestion price of priority reporting.
+
+Section IV.C proposes immediate reporting "even if it meant increasing
+server congestion"; this bench prices it across cluster sizes.  The
+finding: total RPC *volume* barely changes (reports piggyback on RPCs the
+pull loop makes anyway), but the same RPCs compress into a shorter
+makespan, so the scheduler's *arrival rate* rises — congestion appears as
+rate, not volume.
+"""
+
+import pytest
+
+from repro.experiments import congestion_ratio, run_load_sweep
+
+NODE_COUNTS = (10, 20, 40)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_load_sweep(NODE_COUNTS, seed=1)
+
+
+def test_load_table(benchmark, points):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print("Scheduler load: batched (stock BOINC) vs immediate reporting")
+    for p in points:
+        print(f"  {p.label:16s} total {p.total:7.0f}s  rpcs {p.rpc_count:5d}"
+              f"  mean rate {p.rpc_rate_per_min:6.1f}/min"
+              f"  peak {p.peak_rpcs_per_min:4d}/min")
+
+
+def test_rpc_volume_roughly_unchanged(points):
+    """Reports piggyback on pull-loop RPCs — volume is not the cost."""
+    for n in NODE_COUNTS:
+        assert 0.8 < congestion_ratio(points, n) < 1.3
+
+
+def test_rpc_rate_rises_with_immediate_reporting_at_scale(points):
+    big = [p for p in points if p.n_nodes == max(NODE_COUNTS)]
+    batched = next(p for p in big if not p.report_immediately)
+    immediate = next(p for p in big if p.report_immediately)
+    assert immediate.rpc_rate_per_min >= batched.rpc_rate_per_min
+
+
+def test_immediate_reporting_never_slower(points):
+    for n in NODE_COUNTS:
+        batched = next(p for p in points
+                       if p.n_nodes == n and not p.report_immediately)
+        immediate = next(p for p in points
+                         if p.n_nodes == n and p.report_immediately)
+        assert immediate.total <= batched.total * 1.02
+
+
+def test_rpc_load_scales_with_cluster(points):
+    batched = {p.n_nodes: p.rpc_count for p in points
+               if not p.report_immediately}
+    assert batched[40] > batched[20] > batched[10]

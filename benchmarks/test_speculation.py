@@ -1,0 +1,65 @@
+"""Benchmark: speculative execution vs the paper's straggler pathology.
+
+The paper's Fig. 4 straggler and its "Minimizing Impact of Slower Nodes"
+discussion motivate backup tasks (Hadoop's classic mitigation, absent from
+BOINC).  This bench runs the word-count job with one genuinely slow node
+(the server's speed estimate is 20x optimistic) and with a backoff-trapped
+cluster, showing how speculative replicas bound the damage.
+"""
+
+import pytest
+
+from repro.boinc import ClientConfig, ServerConfig
+from repro.core import JobPhase, MapReduceJobSpec, VolunteerCloud
+
+
+def run_with_slow_node(speculative: bool, seed: int = 1):
+    cloud = VolunteerCloud(seed=seed, server_config=ServerConfig(
+        speculative_execution=speculative, speculative_factor=3.0,
+        speculative_min_elapsed_s=120.0))
+    cloud.add_volunteers(19, mr=True)
+    cloud.add_volunteer("slowpoke", mr=True,
+                        config=ClientConfig(speed_factor=0.05))
+    job = cloud.run_job(MapReduceJobSpec(
+        "spec", n_maps=20, n_reducers=5, input_size=1e9),
+        timeout=96 * 3600)
+    return cloud, job
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return run_with_slow_node(False), run_with_slow_node(True)
+
+
+def test_speculation_summary(benchmark, comparison):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    (c0, job0), (c1, job1) = comparison
+    backups = c1.tracer.select("transitioner.speculative")
+    print()
+    print("One 20x-slow node in a 20-node cluster (est unknown to server)")
+    print(f"  no speculation: total {job0.makespan():8.0f}s")
+    print(f"  speculation:    total {job1.makespan():8.0f}s "
+          f"({len(backups)} backup replicas, "
+          f"laggard hosts: {sorted({r['host'] for r in backups})})")
+
+
+def test_speculation_rescues_makespan(comparison):
+    (_c0, job0), (_c1, job1) = comparison
+    assert job1.makespan() < 0.7 * job0.makespan()
+
+
+def test_backups_cover_the_slow_node(comparison):
+    """Backups fire for the compute straggler AND for healthy hosts whose
+    finished results sit unreported in backoff windows — the same
+    mechanism remedies both of the paper's delay sources."""
+    (_c0, _job0), (c1, _job1) = comparison
+    backups = c1.tracer.select("transitioner.speculative")
+    assert backups
+    assert any(r["host"] == "slowpoke" for r in backups)
+    # Bounded: never more than one backup per result that existed.
+    assert len(backups) <= len(c1.server.db.results)
+
+
+def test_both_complete(comparison):
+    (_c0, job0), (_c1, job1) = comparison
+    assert job0.phase is JobPhase.DONE and job1.phase is JobPhase.DONE

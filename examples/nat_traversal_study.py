@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Quantify the Section III.D NAT-traversal ladder on an Internet population.
+
+The paper's prototype assumed reachable peers; over the real Internet most
+volunteers sit behind NATs.  This example runs BOINC-MR over a 2011-like
+NAT mix under four traversal configurations and shows how each rung of the
+ladder (direct -> connection reversal -> hole punching -> relay) recovers
+inter-client transfers that would otherwise fall back to the server.
+
+Run:  python examples/nat_traversal_study.py
+"""
+
+from repro.analysis import render_table
+from repro.experiments import run_ladder_study
+
+
+def main() -> None:
+    outcomes = run_ladder_study(seed=1)
+    rows = []
+    for o in outcomes:
+        methods = ", ".join(f"{k}={v}" for k, v in sorted(o.method_counts.items()))
+        rows.append([o.label, f"{o.total:.0f}s", o.peer_fetches,
+                     o.server_fallbacks, methods])
+    print(render_table(
+        ["ladder", "makespan", "peer fetches", "server fallbacks",
+         "connection methods"],
+        rows,
+        title="BOINC-MR over 20 NATed volunteers (1 GB word count)"))
+    print("\neach added rung recovers more inter-client transfers; the full "
+          "ladder\n(as in Skype-era P2P systems) eliminates server fallbacks "
+          "entirely.")
+
+
+if __name__ == "__main__":
+    main()

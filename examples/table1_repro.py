@@ -1,0 +1,30 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Table I and print it next to the published values.
+
+Runs all nine rows (eight vanilla-BOINC configurations plus the BOINC-MR
+row) of the word-count makespan experiment.  Expect ~10-30 s of wall time.
+
+Run:  python examples/table1_repro.py [seed]
+"""
+
+import sys
+import time
+
+from repro.experiments import PAPER_TABLE1, run_table1
+from repro.experiments.table1 import render
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+    print(f"running {len(PAPER_TABLE1)} scenarios (seed={seed}) ...")
+    t0 = time.perf_counter()
+    records = run_table1(PAPER_TABLE1, seed=seed)
+    print(f"done in {time.perf_counter() - t0:.1f}s\n")
+    print(render(records))
+    print("\ncells are `mean [slowest-node-discarded]` seconds, as in the "
+          "paper;\nabsolute values are calibrated, relational shape is the "
+          "reproduction target.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Trace analysis: the paper's metrics and text renderers for tables/figures."""
+
+from .makespan import (
+    JobMetrics,
+    PhaseStats,
+    TaskInterval,
+    backoff_delays,
+    job_metrics,
+    report_lags,
+    task_intervals,
+)
+from .export import (
+    intervals_to_csv,
+    metrics_to_dict,
+    metrics_to_json,
+    trace_to_csv,
+    utilisation_timeline,
+)
+from .stats import Summary, improvement, percentile, straggler_index, summarise
+from .tables import format_cell, render_series, render_table, render_timeline
+
+__all__ = [
+    "JobMetrics",
+    "PhaseStats",
+    "TaskInterval",
+    "job_metrics",
+    "task_intervals",
+    "backoff_delays",
+    "report_lags",
+    "format_cell",
+    "render_table",
+    "render_timeline",
+    "render_series",
+    "trace_to_csv",
+    "intervals_to_csv",
+    "metrics_to_dict",
+    "metrics_to_json",
+    "utilisation_timeline",
+    "Summary",
+    "summarise",
+    "percentile",
+    "straggler_index",
+    "improvement",
+]

@@ -1,0 +1,103 @@
+"""Export traces and metrics to CSV/JSON for external analysis.
+
+The offline environment has no plotting stack; these exporters produce
+files any external tool (pandas, gnuplot, a spreadsheet) can consume to
+redraw the paper's figures from our runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import typing as _t
+
+from ..sim import Tracer
+from .makespan import JobMetrics, task_intervals
+
+
+def trace_to_csv(tracer: Tracer, kinds: _t.Sequence[str] | None = None,
+                 out: _t.TextIO | None = None) -> str:
+    """Serialise trace records to CSV (one row per record).
+
+    Field columns are the union of all selected records' fields, sorted
+    for stability.  Returns the CSV text (also written to *out* if given).
+    """
+    records = [r for r in tracer.records
+               if kinds is None or r.kind in kinds]
+    field_names: set[str] = set()
+    for rec in records:
+        field_names.update(rec.fields)
+    columns = ["time", "kind", *sorted(field_names)]
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(columns)
+    for rec in records:
+        writer.writerow([rec.time, rec.kind]
+                        + [rec.get(k, "") for k in columns[2:]])
+    text = buf.getvalue()
+    if out is not None:
+        out.write(text)
+    return text
+
+
+def intervals_to_csv(tracer: Tracer, job: str,
+                     out: _t.TextIO | None = None) -> str:
+    """Per-result (assign, report) intervals as CSV — the Fig. 4 data."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["result_id", "host", "kind", "index",
+                     "assigned_at", "reported_at", "duration"])
+    for iv in task_intervals(tracer, job):
+        writer.writerow([iv.result_id, iv.host, iv.kind, iv.index,
+                         iv.assigned_at, iv.reported_at, iv.duration])
+    text = buf.getvalue()
+    if out is not None:
+        out.write(text)
+    return text
+
+
+def metrics_to_dict(metrics: JobMetrics) -> dict:
+    """JSON-ready dictionary of one run's Table I cells."""
+    def phase(p) -> dict:
+        return {
+            "mean": p.mean,
+            "mean_discard_slowest": p.mean_discard_slowest,
+            "span": p.span,
+            "n_tasks": p.n_tasks,
+            "slowest_host": p.slowest_host,
+        }
+
+    return {
+        "job": metrics.job,
+        "map": phase(metrics.map_stats),
+        "reduce": phase(metrics.reduce_stats),
+        "total": metrics.total,
+        "total_discard_slowest": metrics.total_discard_slowest,
+        "transition_gap": metrics.transition_gap,
+    }
+
+
+def metrics_to_json(metrics: JobMetrics, indent: int = 2) -> str:
+    return json.dumps(metrics_to_dict(metrics), indent=indent, sort_keys=True)
+
+
+def utilisation_timeline(tracer: Tracer, bucket_s: float = 30.0,
+                         kind: str = "sched.rpc") -> list[tuple[float, int]]:
+    """Events per time bucket — e.g. scheduler RPC load over the run.
+
+    Returns ``(bucket_start, count)`` pairs covering the full span of the
+    trace, including empty buckets (so plots show the gaps).
+    """
+    if bucket_s <= 0:
+        raise ValueError("bucket_s must be positive")
+    times = tracer.times(kind)
+    if not times:
+        return []
+    start = 0.0
+    end = max(times)
+    n_buckets = int(end // bucket_s) + 1
+    counts = [0] * n_buckets
+    for t in times:
+        counts[int(t // bucket_s)] += 1
+    return [(start + i * bucket_s, counts[i]) for i in range(n_buckets)]

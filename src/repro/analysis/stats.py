@@ -1,0 +1,84 @@
+"""Summary statistics helpers for experiment series.
+
+Small, dependency-light descriptive statistics used by the benches and
+examples: percentile summaries, straggler indices, and comparison ratios
+with readable rendering.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing as _t
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    def text(self, unit: str = "s") -> str:
+        return (f"n={self.n} mean={self.mean:.1f}{unit} "
+                f"p50={self.p50:.1f}{unit} p90={self.p90:.1f}{unit} "
+                f"p99={self.p99:.1f}{unit} max={self.maximum:.1f}{unit}")
+
+
+def percentile(values: _t.Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi or ordered[lo] == ordered[hi]:
+        # Equal endpoints: interpolation could only add float error
+        # (subnormals underflow in the weighted sum).
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def summarise(values: _t.Sequence[float]) -> Summary:
+    """Descriptive summary of a sample (raises on empty input)."""
+    if not values:
+        raise ValueError("cannot summarise an empty sample")
+    return Summary(
+        n=len(values),
+        mean=sum(values) / len(values),
+        p50=percentile(values, 50),
+        p90=percentile(values, 90),
+        p99=percentile(values, 99),
+        minimum=min(values),
+        maximum=max(values),
+    )
+
+
+def straggler_index(values: _t.Sequence[float]) -> float:
+    """max / median — how badly the worst sample lags the typical one.
+
+    1.0 means perfectly even; the paper's Fig. 4 run has a map-phase
+    straggler index of several.
+    """
+    med = percentile(values, 50)
+    if med <= 0:
+        raise ValueError("straggler index undefined for non-positive median")
+    return max(values) / med
+
+
+def improvement(baseline: float, treated: float) -> float:
+    """Fractional improvement of *treated* over *baseline* (+ is better)."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return 1.0 - treated / baseline

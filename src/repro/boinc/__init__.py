@@ -1,0 +1,71 @@
+"""The BOINC substrate: project server, daemons, data server, and client.
+
+Public surface:
+
+- server side: :class:`ProjectServer`, :class:`ServerConfig`,
+  :class:`Database`, :class:`DataServer`, plus the workunit/result model;
+- client side: :class:`Client`, :class:`ClientConfig`, strategy protocols
+  (:class:`InputFetcher`, :class:`OutputPolicy`, :class:`Executor`) and
+  their stock implementations.
+"""
+
+from .client import (
+    Client,
+    ClientConfig,
+    ClientTask,
+    GenericExecutor,
+    ServerInputFetcher,
+    ServerUploadPolicy,
+    TaskState,
+    make_client,
+)
+from .dataserver import DataServer, FileMissing
+from .model import (
+    Database,
+    FileRef,
+    HostRecord,
+    OutputData,
+    Result,
+    ResultOutcome,
+    ResultState,
+    ValidateState,
+    Workunit,
+    WorkunitState,
+)
+from .server import (
+    Assignment,
+    ProjectServer,
+    ReportedResult,
+    SchedulerReply,
+    SchedulerRequest,
+    ServerConfig,
+)
+
+__all__ = [
+    "ProjectServer",
+    "ServerConfig",
+    "SchedulerRequest",
+    "SchedulerReply",
+    "ReportedResult",
+    "Assignment",
+    "Database",
+    "DataServer",
+    "FileMissing",
+    "Workunit",
+    "WorkunitState",
+    "Result",
+    "ResultState",
+    "ResultOutcome",
+    "ValidateState",
+    "FileRef",
+    "OutputData",
+    "HostRecord",
+    "Client",
+    "ClientConfig",
+    "ClientTask",
+    "TaskState",
+    "GenericExecutor",
+    "ServerInputFetcher",
+    "ServerUploadPolicy",
+    "make_client",
+]

@@ -1,0 +1,362 @@
+"""The BOINC client: pull-model work fetch, execution, upload, report.
+
+Everything is client-initiated, as in BOINC and BOINC-MR ("communication
+always starts from the client, never from the server").  The client RPCs
+the scheduler when its work buffer runs low or when it has finished tasks
+to report, subject to the *exponential backoff* gate: every RPC that asked
+for work and got none doubles the deferral (capped, 600 s in the paper's
+experiments), and — crucially for the paper's Figure 4 — a task finishing
+*during* a backoff window cannot be reported until the window expires.
+
+Task lifecycle: download inputs → wait for a CPU → compute → hand outputs
+to the output policy (upload to the server, or serve to peers for BOINC-MR
+map tasks) → mark ready-to-report → piggyback the report on the next
+scheduler RPC.
+
+Input fetching and output handling are strategy objects so that
+:mod:`repro.core` can plug in the BOINC-MR behaviours without this module
+knowing about MapReduce.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from ..net import Host, Network, TransferEndpoint
+from ..sim import Interrupted, Process, Simulator, Tracer, jittered
+from ..net.transfer import SimSemaphore
+from .model import FileRef, HostRecord, OutputData
+from .server import Assignment, ProjectServer, ReportedResult, SchedulerRequest
+
+
+@dataclasses.dataclass(slots=True)
+class ClientConfig:
+    """Client-side policy knobs (BOINC preferences + paper settings)."""
+
+    ncpus: int = 1
+    #: Low watermark: request more work when the estimated *remaining*
+    #: queued work drops below this (BOINC's min work buffer).  Because
+    #: this is typically larger than one task, clients poll the scheduler
+    #: *while still computing* — the behaviour behind the paper's Fig. 4
+    #: backoff pathology.
+    work_buffer_min_s: float = 120.0
+    #: High watermark: ask for (target - queued) seconds of work.
+    work_buffer_target_s: float = 240.0
+    #: Exponential backoff after a no-work reply: min, cap (paper: 600 s).
+    backoff_min_s: float = 60.0
+    backoff_max_s: float = 600.0
+    #: Relative jitter applied to each backoff draw (BOINC randomises
+    #: its deferrals; high jitter is what makes stragglers occasional
+    #: rather than universal).
+    backoff_jitter: float = 0.5
+    #: §IV.C ablation: report finished tasks immediately, ignoring backoff.
+    report_immediately: bool = False
+    #: Relative jitter on task compute times (testbed hardware/IO noise;
+    #: calibrated so per-phase variance matches the paper's spread).
+    compute_jitter: float = 0.15
+    #: Actual compute speed relative to the benchmark speed the server
+    #: knows (BOINC estimates are routinely wrong for real applications;
+    #: < 1 makes this host a genuine straggler the scheduler cannot see).
+    speed_factor: float = 1.0
+    #: Send output uploads as TCP-Nice-style background transfers that
+    #: yield to foreground traffic (Section III.D future work).
+    nice_uploads: bool = False
+    #: Inter-client connection threshold (Section III.C).
+    max_peer_upload_conns: int = 6
+    max_peer_download_conns: int = 6
+    #: Initial scheduler contact is staggered by up to this many seconds.
+    initial_stagger_s: float = 5.0
+
+
+class TaskState:
+    DOWNLOADING = "downloading"
+    WAITING_CPU = "waiting_cpu"
+    COMPUTING = "computing"
+    UPLOADING = "uploading"
+    READY_TO_REPORT = "ready_to_report"
+    REPORTED = "reported"
+    FAILED = "failed"
+
+
+@dataclasses.dataclass(slots=True)
+class ClientTask:
+    """A result instance as the client sees it."""
+
+    assignment: Assignment
+    state: str = TaskState.DOWNLOADING
+    output: OutputData | None = None
+    started_compute_at: float | None = None
+    finished_compute_at: float | None = None
+    error: str | None = None
+
+
+class InputFetcher(_t.Protocol):
+    """Strategy: acquire a task's input data (a process body)."""
+
+    def fetch(self, client: "Client", task: ClientTask) -> _t.Generator: ...
+
+
+class OutputPolicy(_t.Protocol):
+    """Strategy: dispose of a task's output data (a process body)."""
+
+    def handle(self, client: "Client", task: ClientTask) -> _t.Generator: ...
+
+
+class Executor(_t.Protocol):
+    """Strategy: the application binary — produce output for a task."""
+
+    def execute(self, client: "Client", task: ClientTask) -> OutputData: ...
+
+
+class ServerInputFetcher:
+    """Default BOINC behaviour: download every input from the data server."""
+
+    def fetch(self, client: "Client", task: ClientTask) -> _t.Generator:
+        flows = []
+        for ref in task.assignment.wu.input_files:
+            flows.append(client.server.dataserver.download(ref.name, client.host))
+        if flows:
+            yield client.sim.all_of([f.done for f in flows])
+
+
+class ServerUploadPolicy:
+    """Default BOINC behaviour: upload every output to the data server."""
+
+    def handle(self, client: "Client", task: ClientTask) -> _t.Generator:
+        assert task.output is not None
+        nice = client.config.nice_uploads
+        flows = []
+        for ref in task.output.files:
+            flows.append(client.server.dataserver.upload(
+                ref, client.host, background=nice))
+        if flows:
+            yield client.sim.all_of([f.done for f in flows])
+        client.server.record_upload(task.assignment.result_id)
+
+
+class GenericExecutor:
+    """Deterministic placeholder app: digest depends only on the workunit."""
+
+    def execute(self, client: "Client", task: ClientTask) -> OutputData:
+        wu = task.assignment.wu
+        out_size = sum(ref.size for ref in wu.input_files) * 0.1
+        return OutputData(
+            digest=f"wu:{wu.id}",
+            files=(FileRef(name=f"{wu.app_name}_{wu.id}_out_{task.assignment.result_id}",
+                           size=out_size),),
+        )
+
+
+class Client:
+    """One volunteer's BOINC client."""
+
+    def __init__(self, sim: Simulator, net: Network, server: ProjectServer,
+                 host: Host, record: HostRecord,
+                 config: ClientConfig | None = None,
+                 rng: np.random.Generator | None = None,
+                 tracer: Tracer | None = None,
+                 input_fetcher: InputFetcher | None = None,
+                 output_policy: OutputPolicy | None = None,
+                 executor: Executor | None = None) -> None:
+        self.sim = sim
+        self.net = net
+        self.server = server
+        self.host = host
+        self.record = record
+        self.config = config or ClientConfig()
+        self.rng = rng or np.random.default_rng(0)
+        self.tracer = tracer if tracer is not None else server.tracer
+        self.input_fetcher = input_fetcher or ServerInputFetcher()
+        self.output_policy = output_policy or ServerUploadPolicy()
+        self.executor = executor or GenericExecutor()
+        self.name = host.name
+
+        self.endpoint = TransferEndpoint(
+            sim, host,
+            max_upload_conns=self.config.max_peer_upload_conns,
+            max_download_conns=self.config.max_peer_download_conns)
+        self.tasks: list[ClientTask] = []
+        self._ready: list[ClientTask] = []
+        self._cpu = SimSemaphore(sim, self.config.ncpus, name=f"{self.name}.cpu")
+        self._backoff_count = 0
+        self._next_allowed_rpc = 0.0
+        self._wake = sim.event(f"{self.name}.wake0")
+        self._main_proc: Process | None = None
+        self._task_procs: list[Process] = []
+        self._stopped = False
+        #: Diagnostics.
+        self.rpcs = 0
+        self.backoffs = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> None:
+        if self._main_proc is not None:
+            raise RuntimeError(f"client {self.name} already started")
+        self._main_proc = self.sim.process(self._main(), name=f"client:{self.name}")
+
+    def shutdown(self) -> None:
+        """Take the client down (volunteer churn): kill main loop and tasks."""
+        self._stopped = True
+        if self._main_proc is not None and self._main_proc.alive:
+            self._main_proc.interrupt("shutdown")
+        for proc in self._task_procs:
+            if proc.alive:
+                proc.interrupt("shutdown")
+        self.net.set_online(self.host, False)
+
+    # -- main loop ------------------------------------------------------------------
+    def _est_queued_s(self) -> float:
+        """Estimated remaining compute seconds across queued/running tasks."""
+        total = 0.0
+        for t in self.tasks:
+            if t.state in (TaskState.DOWNLOADING, TaskState.WAITING_CPU):
+                total += t.assignment.est_runtime_s
+            elif t.state == TaskState.COMPUTING:
+                elapsed = self.sim.now - (t.started_compute_at or self.sim.now)
+                total += max(0.0, t.assignment.est_runtime_s - elapsed)
+        return total
+
+    def _main(self) -> _t.Generator:
+        # Desynchronise initial contact: real volunteers never start in
+        # lockstep, and a deterministic stagger keeps runs reproducible.
+        stagger = float(self.rng.uniform(0.0, self.config.initial_stagger_s))
+        if stagger > 0:
+            yield stagger
+        try:
+            while not self._stopped:
+                want_work = self._est_queued_s() < self.config.work_buffer_min_s
+                have_reports = bool(self._ready)
+                urgent = have_reports and self.config.report_immediately
+                now = self.sim.now
+                if (want_work or have_reports) and (now >= self._next_allowed_rpc
+                                                    or urgent):
+                    yield from self._rpc_cycle(want_work)
+                    continue
+                self._wake = self.sim.event(f"{self.name}.wake")
+                if want_work or have_reports:
+                    delay = max(0.0, self._next_allowed_rpc - now)
+                    yield self.sim.any_of([self._wake, self.sim.timeout(delay)])
+                else:
+                    yield self._wake
+        except Interrupted:
+            return
+
+    def _notify(self) -> None:
+        self._wake.succeed_if_pending()
+
+    def _rpc_cycle(self, want_work: bool) -> _t.Generator:
+        reports = [self._to_report(t) for t in self._ready]
+        reporting, self._ready = self._ready, []
+        work_req = 0.0
+        if want_work:
+            work_req = max(0.0, self.config.work_buffer_target_s
+                           - self._est_queued_s())
+        request = SchedulerRequest(
+            host_id=self.record.id,
+            work_req_s=work_req,
+            reports=reports,
+        )
+        self.rpcs += 1
+        rtt = self.net.rtt(self.host, self.server.host)
+        if rtt > 0:
+            yield self.sim.timeout(rtt)
+        reply = yield self.sim.process(
+            self.server.scheduler_rpc(request), name=f"rpc:{self.name}")
+        for task in reporting:
+            task.state = TaskState.REPORTED
+        for assignment in reply.assignments:
+            task = ClientTask(assignment=assignment)
+            self.tasks.append(task)
+            proc = self.sim.process(self._run_task(task),
+                                    name=f"task:{self.name}:{assignment.result_id}")
+            self._task_procs.append(proc)
+        if want_work and reply.no_work:
+            self._backoff_count += 1
+            self.backoffs += 1
+            delay = self._backoff_delay()
+            self._next_allowed_rpc = self.sim.now + delay
+            self.tracer.record(self.sim.now, "client.backoff", host=self.name,
+                               count=self._backoff_count, delay=delay)
+        else:
+            self._backoff_count = 0
+            self._next_allowed_rpc = self.sim.now + reply.request_delay_s
+
+    def _backoff_delay(self) -> float:
+        cfg = self.config
+        raw = cfg.backoff_min_s * (2.0 ** (self._backoff_count - 1))
+        capped = min(cfg.backoff_max_s, raw)
+        return jittered(self.rng, capped, cfg.backoff_jitter)
+
+    def _to_report(self, task: ClientTask) -> ReportedResult:
+        ok = task.error is None
+        return ReportedResult(
+            result_id=task.assignment.result_id,
+            success=ok,
+            output=task.output if ok else None,
+            elapsed_s=(task.finished_compute_at or 0.0)
+                      - (task.started_compute_at or 0.0),
+        )
+
+    # -- task lifecycle ------------------------------------------------------------
+    def _run_task(self, task: ClientTask) -> _t.Generator:
+        wu = task.assignment.wu
+        try:
+            task.state = TaskState.DOWNLOADING
+            self.tracer.record(self.sim.now, "task.download_start",
+                               host=self.name, result=task.assignment.result_id)
+            yield from self.input_fetcher.fetch(self, task)
+
+            task.state = TaskState.WAITING_CPU
+            grant = self._cpu.acquire()
+            yield grant
+            try:
+                task.state = TaskState.COMPUTING
+                task.started_compute_at = self.sim.now
+                runtime = wu.flops / (self.record.flops
+                                       * self.config.speed_factor)
+                runtime = jittered(self.rng, runtime, self.config.compute_jitter)
+                self.tracer.record(self.sim.now, "task.compute_start",
+                                   host=self.name,
+                                   result=task.assignment.result_id,
+                                   runtime=runtime)
+                yield self.sim.timeout(runtime)
+                task.finished_compute_at = self.sim.now
+                task.output = self.executor.execute(self, task)
+            finally:
+                self._cpu.release()
+
+            task.state = TaskState.UPLOADING
+            yield from self.output_policy.handle(self, task)
+            task.state = TaskState.READY_TO_REPORT
+            self._ready.append(task)
+            self.tracer.record(self.sim.now, "task.ready", host=self.name,
+                               result=task.assignment.result_id, wu=wu.id)
+            self._notify()
+        except Interrupted:
+            task.state = TaskState.FAILED
+            task.error = "client shutdown"
+        except Exception as exc:  # noqa: BLE001 - report as task failure
+            task.state = TaskState.FAILED
+            task.error = str(exc)
+            self._ready.append(task)
+            self.tracer.record(self.sim.now, "task.failed", host=self.name,
+                               result=task.assignment.result_id, error=str(exc))
+            self._notify()
+
+
+def make_client(sim: Simulator, net: Network, server: ProjectServer,
+                name: str, flops: float = 1.0,
+                link_spec=None, nat=None, supports_mr: bool = False,
+                config: ClientConfig | None = None,
+                rng: np.random.Generator | None = None,
+                **strategies: _t.Any) -> Client:
+    """Convenience factory: create host, register with server, build client."""
+    from ..net import EMULAB_LINK
+
+    host = net.add_host(name, link_spec or EMULAB_LINK, nat=nat)
+    record = server.register_host(name, flops, supports_mr=supports_mr)
+    return Client(sim, net, server, host, record, config=config, rng=rng,
+                  **strategies)

@@ -1,0 +1,89 @@
+"""Project data server: the HTTP file store clients download from/upload to.
+
+BOINC input files live on the project's data servers and every transfer is
+client-initiated HTTP (curl).  Here a :class:`DataServer` is a network host
+holding a catalogue of named files; downloads and uploads are flows through
+the shared server access link, which is exactly what makes the via-server
+path a bottleneck compared to inter-client transfers (the paper's central
+bandwidth argument).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..net import Flow, Host, Network
+from ..sim import Simulator, Tracer
+from .model import FileRef
+
+
+class FileMissing(KeyError):
+    """A client asked for a file the data server does not hold."""
+
+
+class DataServer:
+    """File catalogue + transfer endpoints on a server host."""
+
+    def __init__(self, sim: Simulator, net: Network, host: Host,
+                 tracer: Tracer | None = None) -> None:
+        self.sim = sim
+        self.net = net
+        self.host = host
+        self.tracer = tracer
+        self.files: dict[str, FileRef] = {}
+        self.bytes_served = 0.0
+        self.bytes_received = 0.0
+
+    # -- catalogue ------------------------------------------------------------
+    def publish(self, ref: FileRef) -> None:
+        """Make *ref* available for download (idempotent re-publish allowed)."""
+        self.files[ref.name] = ref
+
+    def has(self, name: str) -> bool:
+        return name in self.files
+
+    def unpublish(self, name: str) -> None:
+        self.files.pop(name, None)
+
+    # -- transfers ------------------------------------------------------------
+    def download(self, name: str, to: Host) -> Flow:
+        """Start an HTTP download of file *name* to host *to*."""
+        ref = self.files.get(name)
+        if ref is None:
+            raise FileMissing(name)
+        flow = self.net.transfer(self.host, to, ref.size,
+                                 label=f"http:{name}->{to.name}")
+        self.bytes_served += ref.size
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, "dataserver.download",
+                               file=name, to=to.name, size=ref.size)
+        return flow
+
+    def upload(self, ref: FileRef, frm: Host,
+               on_done: _t.Callable[[], None] | None = None,
+               background: bool = False) -> Flow:
+        """Start an HTTP upload of *ref* from host *frm*.
+
+        The file enters the catalogue when the flow completes (a partially
+        uploaded file is not served).  ``background=True`` sends it as a
+        TCP-Nice-style transfer that only uses spare bandwidth (Section
+        III.D: "optimizes bandwidth consumption by proactively detecting
+        congestion ... optimized to support background transfers").
+        """
+        flow = self.net.transfer(frm, self.host, ref.size,
+                                 label=f"http:{frm.name}->{ref.name}",
+                                 background=background)
+
+        def _complete(ev) -> None:
+            if ev.exception is not None:
+                return  # aborted upload leaves no file behind
+            self.publish(ref)
+            self.bytes_received += ref.size
+            if self.tracer is not None:
+                self.tracer.record(self.sim.now, "dataserver.upload",
+                                   file=ref.name, frm=frm.name, size=ref.size)
+            if on_done is not None:
+                on_done()
+
+        flow.done.add_callback(_complete)
+        return flow

@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Each subcommand regenerates one of the paper's artefacts (or an extension
+study) and prints it; they are thin wrappers over
+:mod:`repro.experiments`, so everything is also available as a library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as _t
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .experiments import PAPER_TABLE1, run_table1
+    from .experiments.table1 import render
+
+    records = run_table1(PAPER_TABLE1, seed=args.seed)
+    print(render(records))
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    from .experiments import run_fig4
+
+    result = run_fig4(base_seed=args.seed)
+    print(result.render(width=args.width))
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    from .experiments.ablations import run_all
+
+    for o in run_all(seed=args.seed):
+        print(f"{o.name:24s} total {o.baseline_total:8.1f}s -> "
+              f"{o.mitigated_total:8.1f}s ({o.improvement * 100:+5.1f}%)")
+    return 0
+
+
+def _cmd_nat(args: argparse.Namespace) -> int:
+    from .experiments import run_ladder_study
+
+    for o in run_ladder_study(seed=args.seed):
+        print(f"{o.label:16s} total {o.total:7.1f}s  peer {o.peer_fetches:4d}"
+              f"  fallback {o.server_fallbacks:4d}  {o.method_counts}")
+    return 0
+
+
+def _cmd_churn(args: argparse.Namespace) -> int:
+    from .experiments import run_churn
+
+    o = run_churn(seed=args.seed, mean_on_s=args.mean_on,
+                  mean_off_s=args.mean_off,
+                  departure_prob=args.departures)
+    print(f"total {o.total:.1f}s  transitions {o.transitions}  "
+          f"departed {o.departed}  replacements {o.replacement_results}  "
+          f"peer {o.peer_fetches} / fallback {o.server_fallbacks}")
+    return 0
+
+
+def _cmd_planetlab(args: argparse.Namespace) -> int:
+    from .experiments import run_lan_vs_internet
+
+    for label, d in run_lan_vs_internet(seed=args.seed).items():
+        print(f"{label:18s} total {d.total:8.0f}s  "
+              f"map {d.metrics.map_stats.mean:6.0f}s  "
+              f"reduce {d.metrics.reduce_stats.mean:6.0f}s  "
+              f"server {d.server_gb_served:.2f}GB  peer {d.peer_gb:.2f}GB")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .analysis import job_metrics
+    from .core import BoincMRConfig, MapReduceJobSpec, VolunteerCloud
+
+    mr_config = (BoincMRConfig() if args.mr
+                 else BoincMRConfig(upload_map_outputs=True,
+                                    reduce_from_peers=False))
+    cloud = VolunteerCloud(seed=args.seed, mr_config=mr_config)
+    cloud.add_volunteers(args.nodes, mr=args.mr)
+    job = cloud.run_job(MapReduceJobSpec(
+        "job", n_maps=args.maps, n_reducers=args.reducers,
+        input_size=args.input_gb * 1e9))
+    m = job_metrics(cloud.tracer, "job")
+    print(f"map {m.map_stats.mean:.1f}s [{m.map_stats.mean_discard_slowest:.1f}s]"
+          f"  reduce {m.reduce_stats.mean:.1f}s"
+          f"  total {m.total:.1f}s  transition gap {m.transition_gap:.1f}s")
+    return 0
+
+
+def _cmd_wordcount(args: argparse.Namespace) -> int:
+    import collections
+
+    from .runtime import LocalRunner
+    from .runtime.apps import WordCount
+    from .workloads import generate_corpus
+
+    corpus = generate_corpus(int(args.size_mb * 1e6), seed=args.seed)
+    report = LocalRunner(WordCount(), n_maps=args.maps,
+                         n_reducers=args.reducers).run(corpus, parallel=True)
+    assert report.output == dict(collections.Counter(corpus.split()))
+    print(f"{sum(report.output.values())} words, "
+          f"{len(report.output)} distinct, "
+          f"{report.intermediate_bytes / 1e3:.1f} kB intermediate — "
+          "verified against collections.Counter")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BOINC-MR reproduction: regenerate the paper's tables, "
+                    "figures, and extension studies.")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="experiment seed (default 1)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table I: word-count makespan grid")
+
+    p = sub.add_parser("fig4", help="Fig. 4: backoff straggler timeline")
+    p.add_argument("--width", type=int, default=64)
+
+    sub.add_parser("ablations", help="Section IV.C mitigations")
+    sub.add_parser("nat", help="Section III.D NAT traversal ladder")
+
+    p = sub.add_parser("churn", help="volunteer churn study")
+    p.add_argument("--mean-on", type=float, default=1800.0)
+    p.add_argument("--mean-off", type=float, default=600.0)
+    p.add_argument("--departures", type=float, default=0.05)
+
+    sub.add_parser("planetlab", help="LAN vs Internet deployment study")
+
+    p = sub.add_parser("run", help="run one simulated MapReduce job")
+    p.add_argument("--nodes", type=int, default=20)
+    p.add_argument("--maps", type=int, default=20)
+    p.add_argument("--reducers", type=int, default=5)
+    p.add_argument("--input-gb", type=float, default=1.0)
+    p.add_argument("--mr", action="store_true",
+                   help="use BOINC-MR clients (default: original BOINC)")
+
+    p = sub.add_parser("wordcount", help="run REAL word count on real bytes")
+    p.add_argument("--size-mb", type=float, default=2.0)
+    p.add_argument("--maps", type=int, default=8)
+    p.add_argument("--reducers", type=int, default=4)
+
+    return parser
+
+
+_COMMANDS: dict[str, _t.Callable[[argparse.Namespace], int]] = {
+    "table1": _cmd_table1,
+    "fig4": _cmd_fig4,
+    "ablations": _cmd_ablations,
+    "nat": _cmd_nat,
+    "churn": _cmd_churn,
+    "planetlab": _cmd_planetlab,
+    "run": _cmd_run,
+    "wordcount": _cmd_wordcount,
+}
+
+
+def main(argv: _t.Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Mapper-side serving of map outputs to reduce workers (Section III.C).
+
+A BOINC-MR client that finishes a map task "opens a TCP [socket] for
+listening to incoming connections ... and stop[s] accepting connections
+when there are no more files available for upload".  :class:`PeerStore`
+models that serving table: files enter with an expiry (the serving
+timeout), can be renewed when the server reschedules a reduce task, and
+are withdrawn when the job finishes.
+
+The actual byte movement happens through
+:func:`repro.net.transfer.peer_download`, gated by the client's
+:class:`~repro.net.transfer.TransferEndpoint` connection limits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..sim import Simulator
+from ..boinc.model import FileRef
+
+
+@dataclasses.dataclass(slots=True)
+class ServedFile:
+    ref: FileRef
+    job: str
+    expires_at: float
+    downloads: int = 0
+
+
+class PeerStore:
+    """The files one BOINC-MR client is currently serving to peers."""
+
+    def __init__(self, sim: Simulator, serve_timeout_s: float) -> None:
+        if serve_timeout_s <= 0:
+            raise ValueError("serve_timeout_s must be positive")
+        self.sim = sim
+        self.serve_timeout_s = serve_timeout_s
+        self._files: dict[str, ServedFile] = {}
+        self.bytes_served = 0.0
+
+    # -- mapper side -------------------------------------------------------------
+    def serve(self, ref: FileRef, job: str) -> None:
+        """Start (or restart) serving *ref* for *job*."""
+        self._files[ref.name] = ServedFile(
+            ref=ref, job=job, expires_at=self.sim.now + self.serve_timeout_s)
+
+    def renew(self, name: str) -> bool:
+        """Reset a file's timeout — "even if it has already been reached".
+
+        Returns False when the file was never served (nothing to renew).
+        """
+        entry = self._files.get(name)
+        if entry is None:
+            return False
+        entry.expires_at = self.sim.now + self.serve_timeout_s
+        return True
+
+    def renew_job(self, job: str) -> int:
+        """Renew every file of *job*; returns how many were renewed."""
+        n = 0
+        for entry in self._files.values():
+            if entry.job == job:
+                entry.expires_at = self.sim.now + self.serve_timeout_s
+                n += 1
+        return n
+
+    def stop_job(self, job: str) -> int:
+        """Withdraw all files of a finished job; returns how many."""
+        victims = [name for name, e in self._files.items() if e.job == job]
+        for name in victims:
+            del self._files[name]
+        return len(victims)
+
+    # -- reducer side ------------------------------------------------------------
+    def available(self, name: str) -> bool:
+        """Is *name* currently served (present and not expired)?"""
+        entry = self._files.get(name)
+        return entry is not None and self.sim.now <= entry.expires_at
+
+    def get(self, name: str) -> FileRef:
+        """Look up a served file for download; raises KeyError if unavailable."""
+        entry = self._files.get(name)
+        if entry is None:
+            raise KeyError(f"{name} is not being served")
+        if self.sim.now > entry.expires_at:
+            raise KeyError(f"{name} serving timeout expired")
+        entry.downloads += 1
+        self.bytes_served += entry.ref.size
+        return entry.ref
+
+    @property
+    def serving_count(self) -> int:
+        """Files currently within their serving window."""
+        return sum(1 for e in self._files.values()
+                   if self.sim.now <= e.expires_at)

@@ -1,0 +1,152 @@
+"""The JobTracker: BOINC-MR's new server module (Section III.B).
+
+The JobTracker owns MapReduce job state on the server: it creates map
+workunits from a job spec, learns which clients hold validated map outputs
+(via the assimilator hook), automatically creates reduce workunits once
+every map is validated, and answers the scheduler's question "where can
+this reduce task's inputs be downloaded from?" — appending mapper
+addresses to reduce assignments for BOINC-MR clients, or nothing for
+legacy clients (whose inputs come from the data server).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..boinc.model import FileRef, HostRecord, Result, Workunit
+from ..boinc.server import ProjectServer
+from ..sim import Simulator, Tracer
+from .config import BoincMRConfig
+from .job import JobPhase, MapReduceJob, MapReduceJobSpec
+
+
+class JobTracker:
+    """Coordinates MapReduce jobs over a :class:`ProjectServer`."""
+
+    def __init__(self, sim: Simulator, server: ProjectServer,
+                 config: BoincMRConfig | None = None,
+                 tracer: Tracer | None = None) -> None:
+        self.sim = sim
+        self.server = server
+        self.config = config or BoincMRConfig()
+        self.tracer = tracer if tracer is not None else server.tracer
+        self.jobs: dict[str, MapReduceJob] = {}
+        server.assimilate_handler = self._on_assimilated
+        server.locate_reduce_inputs = self.locate_reduce_inputs
+        server.on_wu_error = self._on_wu_error
+        #: Optional callback fired when a job finishes (system wiring).
+        self.on_job_done: _t.Callable[[MapReduceJob], None] | None = None
+
+    # -- job submission -----------------------------------------------------------
+    def submit(self, spec: MapReduceJobSpec) -> MapReduceJob:
+        """Create the job's map workunits (``create_work`` + mapreduce tag)."""
+        if spec.name in self.jobs:
+            raise ValueError(f"job {spec.name!r} already submitted")
+        job = MapReduceJob(self.sim, spec)
+        self.jobs[spec.name] = job
+        for i in range(spec.n_maps):
+            wu = Workunit(
+                id=self.server.db.new_wu_id(),
+                app_name=f"{spec.app_name}_map",
+                input_files=(FileRef(spec.map_input_file(i), spec.chunk_size),),
+                flops=spec.map_flops,
+                target_nresults=spec.replication,
+                min_quorum=spec.quorum,
+                mr_job=spec.name,
+                mr_kind="map",
+                mr_index=i,
+                created_at=self.sim.now,
+            )
+            self.server.submit_workunit(wu, publish_inputs=True)
+            job.map_wu_ids[i] = wu.id
+        self.tracer.record(self.sim.now, "jobtracker.submitted", job=spec.name,
+                           n_maps=spec.n_maps, n_reducers=spec.n_reducers)
+        return job
+
+    # -- server hooks -----------------------------------------------------------
+    def _on_assimilated(self, wu: Workunit, canonical: Result) -> None:
+        if wu.mr_job is None:
+            return
+        job = self.jobs.get(wu.mr_job)
+        if job is None or job.finished:
+            return
+        if wu.mr_kind == "map":
+            holders = [
+                h.name for h in self.server.valid_hosts_for_wu(wu.id)
+                if h.supports_mr
+            ]
+            job.record_map_validated(wu.mr_index, wu.id, holders, self.sim.now)
+            self.tracer.record(self.sim.now, "jobtracker.map_done",
+                               job=job.spec.name, index=wu.mr_index,
+                               holders=len(holders))
+            threshold = max(1, int(round(self.config.reduce_creation_fraction
+                                         * job.spec.n_maps)))
+            if job.maps_completed >= threshold and not job.reduce_wu_ids:
+                self._create_reduce_wus(job)
+        elif wu.mr_kind == "reduce":
+            job.record_reduce_validated(wu.mr_index, self.sim.now)
+            self.tracer.record(self.sim.now, "jobtracker.reduce_done",
+                               job=job.spec.name, index=wu.mr_index)
+            if job.phase is JobPhase.DONE:
+                self.tracer.record(self.sim.now, "jobtracker.job_done",
+                                   job=job.spec.name,
+                                   makespan=job.makespan())
+                if self.on_job_done is not None:
+                    self.on_job_done(job)
+
+    def _on_wu_error(self, wu: Workunit) -> None:
+        if wu.mr_job is None:
+            return
+        job = self.jobs.get(wu.mr_job)
+        if job is not None:
+            job.fail(f"{wu.mr_kind} workunit {wu.mr_index} errored: "
+                     f"{wu.error_reason}")
+
+    def _create_reduce_wus(self, job: MapReduceJob) -> None:
+        """All maps validated: create the reduce workunits (Section III.B).
+
+        Reduce inputs are the map-output partitions; they are *not*
+        published on the data server here — they arrive there only if map
+        clients upload them (``upload_map_outputs``).
+        """
+        spec = job.spec
+        job.reduce_created_at = self.sim.now
+        for r in range(spec.n_reducers):
+            inputs = tuple(
+                FileRef(spec.map_output_file(i, r), spec.map_output_size())
+                for i in range(spec.n_maps)
+            )
+            wu = Workunit(
+                id=self.server.db.new_wu_id(),
+                app_name=f"{spec.app_name}_reduce",
+                input_files=inputs,
+                flops=spec.reduce_flops,
+                target_nresults=spec.replication,
+                min_quorum=spec.quorum,
+                mr_job=spec.name,
+                mr_kind="reduce",
+                mr_index=r,
+                created_at=self.sim.now,
+            )
+            self.server.submit_workunit(wu, publish_inputs=False)
+            job.reduce_wu_ids[r] = wu.id
+        self.tracer.record(self.sim.now, "jobtracker.reduce_created",
+                           job=spec.name, n=spec.n_reducers)
+
+    # -- scheduler hook ------------------------------------------------------------
+    def locate_reduce_inputs(self, wu: Workunit,
+                             host: HostRecord) -> dict[int, list[str]]:
+        """Mapper addresses for a reduce assignment (empty for legacy path)."""
+        job = self.jobs.get(wu.mr_job or "")
+        if job is None:
+            return {}
+        if not (self.config.reduce_from_peers and host.supports_mr):
+            return {}
+        return {
+            i: list(rec.holders)
+            for i, rec in job.map_tasks.items()
+            if rec.holders
+        }
+
+    def spec(self, job_name: str) -> MapReduceJobSpec:
+        return self.jobs[job_name].spec

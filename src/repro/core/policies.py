@@ -1,0 +1,198 @@
+"""BOINC-MR client strategies: input fetching and output disposal.
+
+These plug into :class:`repro.boinc.client.Client` and implement the
+behaviours Section III.C adds to the stock client:
+
+- **Map outputs** on a BOINC-MR client are *served to peers* instead of
+  uploaded (optionally both, enabling the server fallback); on a legacy
+  client they are uploaded as usual.
+- **Reduce inputs** on a BOINC-MR client are downloaded directly from the
+  mapper addresses the scheduler appended to the assignment, with *n*
+  retries per partition and a final fallback to the project data server;
+  on a legacy client everything comes from the data server.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+import numpy as np
+
+from ..boinc.client import Client, ClientTask, ServerInputFetcher, ServerUploadPolicy
+from ..net import ConnectivityPolicy, Host, TransferFailed, peer_download
+from .config import BoincMRConfig
+from .interclient import PeerStore
+from .jobtracker import JobTracker
+
+
+class ClientDirectory:
+    """Address book resolving scheduler-provided addresses to live clients.
+
+    Addresses look like ``hostname:port`` (the paper sends IP and port);
+    resolution strips the port and finds the client by host name.
+    """
+
+    def __init__(self) -> None:
+        self._clients: dict[str, Client] = {}
+
+    def register(self, client: Client) -> None:
+        self._clients[client.name] = client
+
+    def resolve(self, address: str) -> Client | None:
+        name = address.split(":", 1)[0]
+        return self._clients.get(name)
+
+    def __len__(self) -> int:
+        return len(self._clients)
+
+
+class MapReduceOutputPolicy:
+    """Dispose of task outputs per BOINC-MR rules (Section III.B/III.C)."""
+
+    def __init__(self, jobtracker: JobTracker, config: BoincMRConfig) -> None:
+        self.jobtracker = jobtracker
+        self.config = config
+
+    def handle(self, client: Client, task: ClientTask) -> _t.Generator:
+        wu = task.assignment.wu
+        assert task.output is not None
+        is_mr_map = wu.mr_kind == "map" and client.record.supports_mr
+        if is_mr_map:
+            store: PeerStore | None = getattr(client, "peer_store", None)
+            if store is None:
+                raise RuntimeError(
+                    f"BOINC-MR client {client.name} has no peer store")
+            for ref in task.output.files:
+                store.serve(ref, job=wu.mr_job)
+            client.tracer.record(client.sim.now, "peer.serving",
+                                 host=client.name, wu=wu.id,
+                                 files=len(task.output.files))
+            if not self.config.upload_map_outputs:
+                # Hash-only reporting: nothing moves to the server; the
+                # digest travels with the scheduler report.
+                return
+        # Legacy map outputs, reduce outputs, and (optionally) MR map
+        # outputs all go to the data server.
+        yield from ServerUploadPolicy().handle(client, task)
+
+
+class MapReduceInputFetcher:
+    """Fetch task inputs: data server for maps, peers-then-server for reduces."""
+
+    def __init__(self, jobtracker: JobTracker, directory: ClientDirectory,
+                 config: BoincMRConfig,
+                 connectivity: ConnectivityPolicy,
+                 relay: Host | None = None,
+                 relay_selector: _t.Callable[[Host, Host], Host] | None = None,
+                 rng: np.random.Generator | None = None) -> None:
+        self.jobtracker = jobtracker
+        self.directory = directory
+        self.config = config
+        self.connectivity = connectivity
+        self.relay = relay
+        #: Optional dynamic relay choice ``(downloader, uploader) -> relay``
+        #: (e.g. a supernode overlay); falls back to the fixed ``relay``.
+        self.relay_selector = relay_selector
+        self.rng = rng or np.random.default_rng(0)
+        self._server_fetch = ServerInputFetcher()
+        #: Diagnostics: peer download successes / fallbacks to the server.
+        self.peer_fetches = 0
+        self.server_fallbacks = 0
+
+    def fetch(self, client: Client, task: ClientTask) -> _t.Generator:
+        assignment = task.assignment
+        wu = assignment.wu
+        if wu.mr_kind != "reduce":
+            yield from self._server_fetch.fetch(client, task)
+            return
+        spec = self.jobtracker.spec(wu.mr_job)
+        procs = []
+        for map_index in range(spec.n_maps):
+            name = spec.map_output_file(map_index, wu.mr_index)
+            holders = assignment.peer_locations.get(map_index, [])
+            procs.append(client.sim.process(
+                self._fetch_partition(client, name, spec.map_output_size(),
+                                      holders),
+                name=f"fetch:{client.name}:{name}"))
+        if procs:
+            yield client.sim.all_of(procs)
+
+    def _fetch_partition(self, client: Client, filename: str, size: float,
+                         holders: _t.Sequence[str]) -> _t.Generator:
+        """Try each holder (with retries), then fall back to the server."""
+        sim = client.sim
+        # Locality: a reducer that mapped this index already holds the
+        # partition — read it from local disk, no transfer at all.
+        own_store: PeerStore | None = getattr(client, "peer_store", None)
+        if own_store is not None and own_store.available(filename):
+            client.tracer.record(sim.now, "peer.local", host=client.name,
+                                 file=filename)
+            return None
+        attempts = 0
+        order = list(holders)
+        if len(order) > 1:
+            order = [order[i] for i in self.rng.permutation(len(order))]
+        for address in order * max(1, self.config.peer_retries):
+            if attempts >= self.config.peer_retries:
+                break
+            mapper = self.directory.resolve(address)
+            if mapper is None or mapper is client:
+                attempts += 1
+                continue
+            store: PeerStore | None = getattr(mapper, "peer_store", None)
+            if store is None or not store.available(filename):
+                attempts += 1
+                client.tracer.record(sim.now, "peer.unavailable",
+                                     host=client.name, frm=address,
+                                     file=filename)
+                continue
+            relay = self.relay
+            if self.relay_selector is not None:
+                try:
+                    relay = self.relay_selector(client.host, mapper.host)
+                except Exception:  # noqa: BLE001 - overlay empty: keep default
+                    relay = self.relay
+            try:
+                ref = store.get(filename)
+                record = yield sim.process(peer_download(
+                    sim, client.net, self.connectivity,
+                    src=mapper.endpoint, dst=client.endpoint,
+                    size=ref.size, relay=relay,
+                    failure_rate=self.config.peer_failure_rate,
+                    rng=self.rng,
+                    label=f"mr:{filename}->{client.name}"))
+                self.peer_fetches += 1
+                client.tracer.record(sim.now, "peer.fetched",
+                                     host=client.name, frm=mapper.name,
+                                     file=filename,
+                                     duration=record.duration,
+                                     method=record.method.value)
+                return record
+            except TransferFailed as exc:
+                attempts += 1
+                client.tracer.record(sim.now, "peer.fetch_failed",
+                                     host=client.name, frm=mapper.name,
+                                     file=filename, reason=exc.reason,
+                                     attempt=attempts)
+        # Fallback: download from the project data server (only possible
+        # when map outputs were uploaded there).  With early reduce
+        # creation (reduce_creation_fraction < 1) the file may simply not
+        # exist *yet* — poll for it, overlapping this wait with the other
+        # partitions' downloads (the §IV.C "intermediate downloads" idea).
+        polls = 0
+        while polls < self.config.fetch_poll_attempts:
+            if client.server.dataserver.has(filename):
+                self.server_fallbacks += 1
+                client.tracer.record(sim.now, "peer.fallback_server",
+                                     host=client.name, file=filename,
+                                     polls=polls)
+                flow = client.server.dataserver.download(filename, client.host)
+                yield flow.done
+                return None
+            if self.config.reduce_creation_fraction >= 1.0:
+                break  # nothing will ever appear; fail fast
+            polls += 1
+            yield sim.timeout(self.config.fetch_poll_s)
+        raise TransferFailed(
+            f"reduce input {filename} unavailable: no reachable peer and "
+            "no server copy (upload_map_outputs is off)")

@@ -1,0 +1,175 @@
+"""The top-level BOINC-MR system facade.
+
+:class:`VolunteerCloud` wires a complete deployment together — simulator,
+network, project server (with daemons), JobTracker, and volunteer clients
+(original BOINC or BOINC-MR) — behind a small API:
+
+    cloud = VolunteerCloud(seed=1)
+    cloud.add_volunteers(20, mr=True)
+    job = cloud.submit(MapReduceJobSpec("wc", n_maps=20, n_reducers=5))
+    cloud.run_until(job.done)
+    print(job.makespan())
+
+Everything is deterministic under the seed.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..boinc.client import Client, ClientConfig
+from ..boinc.server import ProjectServer, ServerConfig
+from ..net import (
+    EMULAB_LINK,
+    ConnectivityPolicy,
+    LinkSpec,
+    NatBox,
+    Network,
+    TraversalConfig,
+)
+from ..sim import Event, RngRegistry, SimulationError, Simulator, Tracer
+from .config import BoincMRConfig
+from .executor import MapReduceExecutor
+from .interclient import PeerStore
+from .job import MapReduceJob, MapReduceJobSpec
+from .jobtracker import JobTracker
+from .policies import ClientDirectory, MapReduceInputFetcher, MapReduceOutputPolicy
+
+
+class VolunteerCloud:
+    """A complete simulated BOINC-MR deployment."""
+
+    def __init__(self, seed: int = 0,
+                 server_config: ServerConfig | None = None,
+                 mr_config: BoincMRConfig | None = None,
+                 client_config: ClientConfig | None = None,
+                 traversal_config: TraversalConfig | None = None,
+                 server_link: LinkSpec = EMULAB_LINK,
+                 tracer: Tracer | None = None) -> None:
+        self.sim = Simulator()
+        self.rngs = RngRegistry(seed)
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.net = Network(self.sim, tracer=None)  # flow traces are noisy
+        self.server_host = self.net.add_host("server", server_link)
+        self.server = ProjectServer(self.sim, self.net, self.server_host,
+                                    config=server_config, tracer=self.tracer,
+                                    rng=self.rngs.stream("server"))
+        self.mr_config = mr_config or BoincMRConfig()
+        self.client_config = client_config or ClientConfig()
+        self.jobtracker = JobTracker(self.sim, self.server,
+                                     config=self.mr_config, tracer=self.tracer)
+        self.jobtracker.on_job_done = self._cleanup_job
+        self.directory = ClientDirectory()
+        self.connectivity = ConnectivityPolicy(
+            traversal_config or TraversalConfig(),
+            rng=self.rngs.stream("nat"))
+        self.clients: list[Client] = []
+        self._started = False
+
+    # -- population ------------------------------------------------------------
+    def add_volunteer(self, name: str | None = None, *, flops: float = 1.0,
+                      mr: bool = False, link_spec: LinkSpec = EMULAB_LINK,
+                      nat: NatBox | None = None,
+                      config: ClientConfig | None = None,
+                      byzantine_rate: float = 0.0,
+                      hr_class: str = "",
+                      platform_variance: bool = False) -> Client:
+        """Create one volunteer host and its client (not yet started)."""
+        if name is None:
+            name = f"host{len(self.clients):03d}"
+        host = self.net.add_host(name, link_spec, nat=nat)
+        record = self.server.register_host(name, flops, supports_mr=mr,
+                                           hr_class=hr_class)
+        cfg = config or self.client_config
+        executor = MapReduceExecutor(
+            self.jobtracker, byzantine_rate=byzantine_rate,
+            platform_variance=platform_variance,
+            rng=self.rngs.stream(f"exec.{name}"))
+        fetcher = MapReduceInputFetcher(
+            self.jobtracker, self.directory, self.mr_config,
+            connectivity=self.connectivity, relay=self.server_host,
+            rng=self.rngs.stream(f"fetch.{name}"))
+        output_policy = MapReduceOutputPolicy(self.jobtracker, self.mr_config)
+        client = Client(self.sim, self.net, self.server, host, record,
+                        config=cfg, rng=self.rngs.stream(f"client.{name}"),
+                        tracer=self.tracer, input_fetcher=fetcher,
+                        output_policy=output_policy, executor=executor)
+        if mr:
+            client.peer_store = PeerStore(self.sim,
+                                          self.mr_config.serve_timeout_s)
+        self.directory.register(client)
+        self.clients.append(client)
+        if self._started:
+            client.start()
+        return client
+
+    def add_volunteers(self, n: int, **kwargs: _t.Any) -> list[Client]:
+        """Add *n* identical volunteers (names auto-generated)."""
+        return [self.add_volunteer(**kwargs) for _ in range(n)]
+
+    def enable_supernode_overlay(self, n_supernodes: int = 3,
+                                 fanout: int = 2) -> "SupernodeOverlay":
+        """Relay NAT-blocked transfers through a supernode overlay.
+
+        Section III.D's alternative to relaying through the project
+        server: publicly reachable, well-provisioned volunteers are
+        elected supernodes and carry relayed inter-client traffic,
+        keeping the server's access link out of the data path.  Call
+        after the volunteer population is built.
+        """
+        from ..net.supernode import SupernodeOverlay
+
+        overlay = SupernodeOverlay([c.host for c in self.clients],
+                                   n_supernodes=n_supernodes, fanout=fanout)
+        for client in self.clients:
+            fetcher = client.input_fetcher
+            if hasattr(fetcher, "relay_selector"):
+                fetcher.relay_selector = overlay.pick_relay
+        self.overlay = overlay
+        return overlay
+
+    # -- jobs --------------------------------------------------------------------
+    def submit(self, spec: MapReduceJobSpec) -> MapReduceJob:
+        """Submit a MapReduce job; starts the system on first use."""
+        self.start()
+        return self.jobtracker.submit(spec)
+
+    def start(self) -> None:
+        """Start server daemons and all clients (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.server.start_daemons()
+        for client in self.clients:
+            client.start()
+
+    def _cleanup_job(self, job: MapReduceJob) -> None:
+        """Withdraw served map outputs once the job completes."""
+        for client in self.clients:
+            store: PeerStore | None = getattr(client, "peer_store", None)
+            if store is not None:
+                store.stop_job(job.spec.name)
+
+    # -- execution ---------------------------------------------------------------
+    def run_until(self, event: Event, timeout: float = 7 * 24 * 3600.0) -> None:
+        """Advance the simulation until *event* fires.
+
+        Raises :class:`SimulationError` if the deadline passes first — a
+        stuck job should fail loudly, not spin.
+        """
+        self.start()
+        deadline = self.sim.now + timeout
+        self.sim.run(until_event=event, until=deadline)
+        if not event.triggered:
+            raise SimulationError(
+                f"event {event.name!r} did not fire within {timeout:g}s "
+                f"(t={self.sim.now:g})")
+        if event.exception is not None:
+            raise event.exception  # e.g. the job failed — be loud
+
+    def run_job(self, spec: MapReduceJobSpec,
+                timeout: float = 7 * 24 * 3600.0) -> MapReduceJob:
+        """Submit *spec*, run to completion, and return the finished job."""
+        job = self.submit(spec)
+        self.run_until(job.done, timeout=timeout)
+        return job

@@ -1,0 +1,131 @@
+"""MapReduce workflows: chains of jobs over a volunteer cloud.
+
+Section II positions MapReduce "as a gateway to allow other paradigms or
+more complex applications" — "there are several examples of MapReduce
+workflows" — and the conclusion notes that "many applications can be
+broken down into sequences of MapReduce jobs (some with only map or just
+reduce sections)".  :class:`MapReduceWorkflow` executes such a sequence on
+a :class:`~repro.core.system.VolunteerCloud`: each stage's reduce outputs
+(landed on the project data server) become the next stage's input, whose
+size is derived from the previous stage's actual output volume.
+
+Stages may be full map+reduce jobs or map-only (``n_reducers`` semantics
+still apply server-side: BOINC-MR always creates reduce workunits, so a
+"map-only" stage is expressed as one pass-through reducer with a
+negligible reduce cost).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from ..sim import Event
+from .costmodel import WORD_COUNT, MapReduceCostModel
+from .job import MapReduceJob, MapReduceJobSpec
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .system import VolunteerCloud
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class WorkflowStage:
+    """One stage of a workflow (geometry + cost profile)."""
+
+    name: str
+    n_maps: int
+    n_reducers: int
+    cost: MapReduceCostModel = WORD_COUNT
+    app_name: str = "stage"
+    replication: int = 2
+    quorum: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_maps < 1 or self.n_reducers < 1:
+            raise ValueError("stage geometry must be >= 1")
+
+
+class MapReduceWorkflow:
+    """A sequence of MapReduce jobs, each consuming its predecessor's output."""
+
+    def __init__(self, cloud: "VolunteerCloud", name: str,
+                 stages: _t.Sequence[WorkflowStage],
+                 input_size: float) -> None:
+        if not stages:
+            raise ValueError("workflow needs at least one stage")
+        if input_size <= 0:
+            raise ValueError("input_size must be positive")
+        if len({s.name for s in stages}) != len(stages):
+            raise ValueError("stage names must be unique")
+        self.cloud = cloud
+        self.name = name
+        self.stages = tuple(stages)
+        self.input_size = float(input_size)
+        self.jobs: list[MapReduceJob] = []
+        #: Fires with the job list when the last stage completes (fails if
+        #: any stage fails).
+        self.done: Event = cloud.sim.event(f"workflow:{name}")
+        self._started = False
+
+    # -- execution ---------------------------------------------------------------
+    def start(self) -> "MapReduceWorkflow":
+        """Submit stage 0 and chain the rest on completion events."""
+        if self._started:
+            raise RuntimeError(f"workflow {self.name} already started")
+        self._started = True
+        self.cloud.start()
+        self.cloud.sim.process(self._drive(), name=f"workflow:{self.name}")
+        return self
+
+    def _drive(self) -> _t.Generator:
+        size = self.input_size
+        try:
+            for stage in self.stages:
+                spec = MapReduceJobSpec(
+                    name=f"{self.name}.{stage.name}",
+                    n_maps=stage.n_maps,
+                    n_reducers=stage.n_reducers,
+                    input_size=size,
+                    replication=stage.replication,
+                    quorum=stage.quorum,
+                    cost=stage.cost,
+                    app_name=stage.app_name,
+                )
+                job = self.cloud.jobtracker.submit(spec)
+                self.jobs.append(job)
+                yield job.done
+                # Next stage's input is this stage's total reduce output.
+                size = max(1.0, spec.reduce_output_size() * spec.n_reducers)
+        except Exception as exc:  # noqa: BLE001 - stage failed: fail workflow
+            self.done.fail(RuntimeError(
+                f"workflow {self.name} failed at stage "
+                f"{len(self.jobs)}: {exc}"))
+            return
+        self.done.trigger(list(self.jobs))
+
+    def run(self, timeout: float = 14 * 24 * 3600.0) -> list[MapReduceJob]:
+        """Start (if needed) and block until the workflow completes."""
+        if not self._started:
+            self.start()
+        self.cloud.run_until(self.done, timeout=timeout)
+        return list(self.jobs)
+
+    # -- results ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.done.triggered
+
+    def makespan(self) -> float | None:
+        """First stage submission to last stage completion."""
+        if not self.finished or not self.jobs:
+            return None
+        return self.jobs[-1].finished_at - self.jobs[0].submitted_at
+
+    def stage_makespans(self) -> list[float]:
+        return [job.makespan() or 0.0 for job in self.jobs]
+
+
+def pipeline(cloud: "VolunteerCloud", name: str, input_size: float,
+             *stages: WorkflowStage) -> MapReduceWorkflow:
+    """Convenience constructor: ``pipeline(cloud, "w", 1e9, s1, s2).run()``."""
+    return MapReduceWorkflow(cloud, name, stages, input_size)

@@ -1,0 +1,158 @@
+"""The ``mr_jobtracker.xml`` project configuration file (Section III.B).
+
+"We created a general configuration file to the project's directory,
+``mr_jobtracker.xml``, which is used to specify MapReduce parameters,
+such as number of mappers and reducers."  The paper never shows the
+format, so this module defines one in BOINC's configuration idiom
+(element-per-setting, snake_case tags) and parses it into the library's
+config objects:
+
+.. code-block:: xml
+
+    <mr_jobtracker>
+      <config>
+        <reduce_from_peers>1</reduce_from_peers>
+        <upload_map_outputs>0</upload_map_outputs>
+        <serve_timeout>14400</serve_timeout>
+        <peer_retries>3</peer_retries>
+      </config>
+      <job>
+        <name>wordcount</name>
+        <n_maps>20</n_maps>
+        <n_reducers>5</n_reducers>
+        <input_size>1000000000</input_size>
+        <replication>2</replication>
+        <quorum>2</quorum>
+        <app_name>wordcount</app_name>
+      </job>
+    </mr_jobtracker>
+"""
+
+from __future__ import annotations
+
+import pathlib
+import typing as _t
+import xml.etree.ElementTree as ET
+
+from .config import BoincMRConfig
+from .job import MapReduceJobSpec
+
+
+class ConfigError(ValueError):
+    """Malformed ``mr_jobtracker.xml`` content."""
+
+
+def _text(elem: ET.Element, tag: str, default: str | None = None) -> str:
+    child = elem.find(tag)
+    if child is None or child.text is None:
+        if default is None:
+            raise ConfigError(f"missing <{tag}> element")
+        return default
+    return child.text.strip()
+
+
+def _as_bool(text: str) -> bool:
+    if text in ("1", "true"):
+        return True
+    if text in ("0", "false"):
+        return False
+    raise ConfigError(f"expected boolean 0/1, got {text!r}")
+
+
+def parse_mr_config(elem: ET.Element) -> BoincMRConfig:
+    """Parse a ``<config>`` element into :class:`BoincMRConfig`."""
+    defaults = BoincMRConfig()
+    try:
+        return BoincMRConfig(
+            reduce_from_peers=_as_bool(_text(
+                elem, "reduce_from_peers",
+                "1" if defaults.reduce_from_peers else "0")),
+            upload_map_outputs=_as_bool(_text(
+                elem, "upload_map_outputs",
+                "1" if defaults.upload_map_outputs else "0")),
+            serve_timeout_s=float(_text(elem, "serve_timeout",
+                                        str(defaults.serve_timeout_s))),
+            peer_retries=int(_text(elem, "peer_retries",
+                                   str(defaults.peer_retries))),
+            peer_failure_rate=float(_text(elem, "peer_failure_rate",
+                                          str(defaults.peer_failure_rate))),
+            reduce_creation_fraction=float(_text(
+                elem, "reduce_creation_fraction",
+                str(defaults.reduce_creation_fraction))),
+        )
+    except ValueError as exc:
+        raise ConfigError(str(exc)) from exc
+
+
+def parse_job_spec(elem: ET.Element) -> MapReduceJobSpec:
+    """Parse a ``<job>`` element into :class:`MapReduceJobSpec`."""
+    try:
+        return MapReduceJobSpec(
+            name=_text(elem, "name"),
+            n_maps=int(_text(elem, "n_maps")),
+            n_reducers=int(_text(elem, "n_reducers")),
+            input_size=float(_text(elem, "input_size", "1e9")),
+            replication=int(_text(elem, "replication", "2")),
+            quorum=int(_text(elem, "quorum", "2")),
+            app_name=_text(elem, "app_name", "wordcount"),
+        )
+    except ValueError as exc:
+        raise ConfigError(str(exc)) from exc
+
+
+def load_jobtracker_xml(source: str | pathlib.Path
+                        ) -> tuple[BoincMRConfig, list[MapReduceJobSpec]]:
+    """Parse an ``mr_jobtracker.xml`` document (path or XML text).
+
+    Returns the project-wide config and every ``<job>`` declared.
+    """
+    text = source
+    path = pathlib.Path(str(source))
+    try:
+        if path.exists():
+            text = path.read_text()
+    except OSError:
+        pass  # definitely inline XML
+    try:
+        root = ET.fromstring(str(text))
+    except ET.ParseError as exc:
+        raise ConfigError(f"invalid XML: {exc}") from exc
+    if root.tag != "mr_jobtracker":
+        raise ConfigError(f"expected <mr_jobtracker> root, got <{root.tag}>")
+    config_elem = root.find("config")
+    config = (parse_mr_config(config_elem) if config_elem is not None
+              else BoincMRConfig())
+    jobs = [parse_job_spec(j) for j in root.findall("job")]
+    return config, jobs
+
+
+def dump_jobtracker_xml(config: BoincMRConfig,
+                        jobs: _t.Sequence[MapReduceJobSpec] = ()) -> str:
+    """Serialise config + jobs back to ``mr_jobtracker.xml`` text."""
+    root = ET.Element("mr_jobtracker")
+    cfg = ET.SubElement(root, "config")
+
+    def setting(tag: str, value: _t.Any) -> None:
+        child = ET.SubElement(cfg, tag)
+        if isinstance(value, bool):
+            child.text = "1" if value else "0"
+        else:
+            child.text = str(value)
+
+    setting("reduce_from_peers", config.reduce_from_peers)
+    setting("upload_map_outputs", config.upload_map_outputs)
+    setting("serve_timeout", config.serve_timeout_s)
+    setting("peer_retries", config.peer_retries)
+    setting("peer_failure_rate", config.peer_failure_rate)
+    setting("reduce_creation_fraction", config.reduce_creation_fraction)
+    for spec in jobs:
+        job = ET.SubElement(root, "job")
+        for tag, value in (
+            ("name", spec.name), ("n_maps", spec.n_maps),
+            ("n_reducers", spec.n_reducers), ("input_size", spec.input_size),
+            ("replication", spec.replication), ("quorum", spec.quorum),
+            ("app_name", spec.app_name),
+        ):
+            ET.SubElement(job, tag).text = str(value)
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")

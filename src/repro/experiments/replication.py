@@ -1,0 +1,76 @@
+"""Replication-factor study: redundancy cost vs byzantine resilience.
+
+The paper fixes replication 2 / quorum 2 ("each work unit is replicated
+into 2 results ... only validated if both results are identical") without
+examining the trade-off.  This study sweeps the replication factor against
+byzantine populations and measures:
+
+- the redundancy overhead (results executed per workunit, makespan);
+- the *wrong-result acceptance rate*: how often a corrupt output becomes
+  the canonical result (possible when matching corrupt replicas — or, at
+  quorum 1, any corrupt replica — slip through).
+
+Corrupt digests are unique per execution in our byzantine model (the
+worst case for collusion is excluded), so quorum >= 2 never accepts a
+corrupt result; quorum 1 accepts them at roughly the byzantine rate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..analysis import job_metrics
+from ..core import MapReduceJobSpec, VolunteerCloud
+
+
+@dataclasses.dataclass(slots=True)
+class ReplicationOutcome:
+    replication: int
+    quorum: int
+    byzantine_rate: float
+    total: float
+    results_executed: int
+    corrupt_accepted: int
+    workunits: int
+
+    @property
+    def overhead(self) -> float:
+        """Executed results per workunit (1.0 = no redundancy)."""
+        return self.results_executed / self.workunits
+
+
+def run_replication(replication: int, quorum: int,
+                    byzantine_rate: float = 0.0, seed: int = 5,
+                    n_nodes: int = 12) -> ReplicationOutcome:
+    cloud = VolunteerCloud(seed=seed)
+    cloud.add_volunteers(n_nodes, mr=True, byzantine_rate=byzantine_rate)
+    spec = MapReduceJobSpec("repl", n_maps=12, n_reducers=3,
+                            input_size=120e6, replication=replication,
+                            quorum=quorum)
+    job = cloud.run_job(spec, timeout=96 * 3600)
+    assert job.finished
+    executed = sum(1 for r in cloud.server.db.results.values()
+                   if r.reported_at is not None)
+    corrupt = 0
+    for wu in cloud.server.db.workunits.values():
+        if wu.canonical_result_id is None:
+            continue
+        canonical = cloud.server.db.results[wu.canonical_result_id]
+        if canonical.output and canonical.output.digest.startswith("corrupt:"):
+            corrupt += 1
+    return ReplicationOutcome(
+        replication=replication, quorum=quorum,
+        byzantine_rate=byzantine_rate,
+        total=job_metrics(cloud.tracer, "repl").total,
+        results_executed=executed,
+        corrupt_accepted=corrupt,
+        workunits=len(cloud.server.db.workunits),
+    )
+
+
+def sweep(byzantine_rate: float = 0.2, seed: int = 5
+          ) -> list[ReplicationOutcome]:
+    """The paper-relevant grid: no redundancy, the paper's 2/2, and 3/2."""
+    grid = [(1, 1), (2, 2), (3, 2)]
+    return [run_replication(r, q, byzantine_rate=byzantine_rate, seed=seed)
+            for r, q in grid]

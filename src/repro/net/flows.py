@@ -1,0 +1,297 @@
+"""Flow-level network model with max–min fair bandwidth sharing.
+
+Instead of simulating packets, each transfer is a *flow* with a remaining
+byte count.  All active flows share the directional capacity of the links
+they traverse (a flow from A to B uses A's uplink and B's downlink, plus any
+extra shared links such as a project data-server trunk).  Rates are the
+classic max–min fair allocation computed by progressive filling, with
+optional per-flow rate caps (to model TCP throughput ceilings).
+
+Whenever the flow set changes, progress is advanced, rates are recomputed,
+and the earliest completion is scheduled.  A version counter retracts stale
+completion events, so the model stays correct under arbitrary churn.
+
+*Background* flows (the TCP-Nice model from the paper's Section III.D) only
+receive capacity left over after all foreground flows are allocated — a
+two-pass allocation that captures Nice's "only use spare bandwidth"
+behaviour at the flow level.
+"""
+
+from __future__ import annotations
+
+import math
+import typing as _t
+
+from ..sim import PRIORITY_HIGH, Event, Simulator, Tracer
+
+#: Flows with fewer remaining bytes than this are considered complete
+#: (coarser than float error accumulated across rate recomputations, finer
+#: than the 1-byte granularity of real transfers).
+_EPSILON_BYTES = 1e-3
+
+
+class Link:
+    """One direction of a network link with a fixed capacity in bytes/s."""
+
+    __slots__ = ("name", "capacity", "bytes_carried")
+
+    def __init__(self, name: str, capacity_bps: float) -> None:
+        if capacity_bps <= 0:
+            raise ValueError(f"link {name!r} capacity must be positive")
+        self.name = name
+        #: Capacity in *bytes* per second.
+        self.capacity = capacity_bps / 8.0
+        #: Total bytes this link has carried (all flows, all time).
+        self.bytes_carried = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Link {self.name} {self.capacity * 8 / 1e6:.0f}Mbit>"
+
+
+class FlowError(RuntimeError):
+    """A flow was aborted; carried by the flow's ``done`` event on failure."""
+
+
+class Flow:
+    """An active bulk transfer.
+
+    Attributes
+    ----------
+    done:
+        Event fired with the flow on completion, or failed with
+        :class:`FlowError` when aborted.
+    rate:
+        Current allocated rate in bytes/s (updated on every recompute).
+    """
+
+    __slots__ = (
+        "name", "links", "size", "remaining", "rate", "max_rate",
+        "background", "done", "started_at", "finished_at", "aborted",
+    )
+
+    def __init__(self, sim: Simulator, name: str, links: _t.Sequence[Link],
+                 size: float, max_rate: float | None, background: bool) -> None:
+        if size < 0:
+            raise ValueError(f"flow size must be >= 0, got {size}")
+        if not links:
+            raise ValueError("a flow must traverse at least one link")
+        if max_rate is not None and max_rate <= 0:
+            raise ValueError("max_rate must be positive when given")
+        self.name = name
+        self.links = tuple(links)
+        self.size = float(size)
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.max_rate = max_rate
+        self.background = background
+        self.done: Event = sim.event(name=f"flow:{name}")
+        self.started_at = sim.now
+        self.finished_at: float | None = None
+        self.aborted = False
+
+    @property
+    def finished(self) -> bool:
+        return self.done.triggered
+
+    def eta(self) -> float:
+        """Seconds until completion at the current rate (inf if stalled)."""
+        if self.remaining <= _EPSILON_BYTES:
+            return 0.0
+        if self.rate <= 0:
+            return math.inf
+        return self.remaining / self.rate
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Flow {self.name} {self.remaining:.0f}/{self.size:.0f}B "
+                f"@{self.rate:.0f}B/s>")
+
+
+def maxmin_rates(flows: _t.Sequence[Flow]) -> dict[Flow, float]:
+    """Max–min fair rates for *flows* via progressive filling.
+
+    Respects per-flow ``max_rate`` caps.  Links are discovered from the
+    flows themselves.  Returns rates in bytes/s.
+    """
+    if not flows:
+        return {}
+    rate: dict[Flow, float] = {f: 0.0 for f in flows}
+    unfrozen: set[Flow] = set(flows)
+    headroom: dict[Link, float] = {}
+    active: dict[Link, int] = {}
+    for f in flows:
+        for link in f.links:
+            headroom.setdefault(link, link.capacity)
+            active[link] = active.get(link, 0) + 1
+
+    # Progressive filling: raise all unfrozen flows' rates in lockstep until
+    # a link saturates or a flow hits its cap; freeze and repeat.
+    for _ in range(2 * len(flows) + 2):  # each round freezes >= 1 flow
+        if not unfrozen:
+            break
+        increment = math.inf
+        for link, count in active.items():
+            if count > 0:
+                increment = min(increment, headroom[link] / count)
+        for f in unfrozen:
+            if f.max_rate is not None:
+                increment = min(increment, f.max_rate - rate[f])
+        if increment < 0:
+            increment = 0.0
+        newly_frozen: list[Flow] = []
+        for f in unfrozen:
+            rate[f] += increment
+            if f.max_rate is not None and rate[f] >= f.max_rate * (1 - 1e-9):
+                newly_frozen.append(f)
+        for link in active:
+            headroom[link] -= increment * active[link]
+        for link, room in headroom.items():
+            if room <= link.capacity * 1e-9 and active[link] > 0:
+                for f in list(unfrozen):
+                    if link in f.links and f not in newly_frozen:
+                        newly_frozen.append(f)
+        if not newly_frozen:
+            # Nothing binding (all caps/links satisfied) — allocation final.
+            break
+        for f in newly_frozen:
+            if f in unfrozen:
+                unfrozen.remove(f)
+                for link in f.links:
+                    active[link] -= 1
+    return rate
+
+
+class FlowNetwork:
+    """Tracks active flows and keeps their rates max–min fair over time."""
+
+    def __init__(self, sim: Simulator, tracer: Tracer | None = None) -> None:
+        self.sim = sim
+        self.tracer = tracer
+        self.active: list[Flow] = []
+        self._version = 0
+        self._last_update = sim.now
+        #: Total bytes delivered by completed flows (diagnostic).
+        self.bytes_delivered = 0.0
+        self.flows_completed = 0
+        self.flows_aborted = 0
+
+    # -- public API ----------------------------------------------------------
+    def start_flow(self, name: str, links: _t.Sequence[Link], size: float,
+                   max_rate: float | None = None,
+                   background: bool = False) -> Flow:
+        """Begin a transfer of *size* bytes across *links*; returns the flow."""
+        flow = Flow(self.sim, name, links, size, max_rate, background)
+        if flow.remaining <= _EPSILON_BYTES:
+            flow.finished_at = self.sim.now
+            flow.done.trigger(flow)
+            self.flows_completed += 1
+            return flow
+        self.active.append(flow)
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, "flow.start", flow=name,
+                               size=size, background=background)
+        self._recompute()
+        return flow
+
+    def abort_flow(self, flow: Flow, reason: str = "aborted") -> None:
+        """Cancel an in-flight flow; its ``done`` event fails with FlowError."""
+        if flow.finished:
+            return
+        self._advance()
+        self.active.remove(flow)
+        flow.aborted = True
+        flow.rate = 0.0
+        flow.finished_at = self.sim.now
+        self.flows_aborted += 1
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, "flow.abort", flow=flow.name,
+                               reason=reason, transferred=flow.size - flow.remaining)
+        flow.done.fail(FlowError(f"flow {flow.name}: {reason}"))
+        self._recompute()
+
+    def utilisation(self, link: Link) -> float:
+        """Fraction of *link* capacity currently in use (0..1)."""
+        used = sum(f.rate for f in self.active if link in f.links)
+        return used / link.capacity
+
+    # -- internals -------------------------------------------------------------
+    def _advance(self) -> None:
+        """Account progress since the last rate change."""
+        dt = self.sim.now - self._last_update
+        if dt > 0:
+            for f in self.active:
+                sent = min(f.remaining, f.rate * dt)
+                f.remaining -= sent
+                for link in f.links:
+                    link.bytes_carried += sent
+        self._last_update = self.sim.now
+
+    def _recompute(self) -> None:
+        """Re-allocate rates and (re)schedule the next completion.
+
+        Always advances progress first so rate changes never lose bytes
+        already delivered at the old rates.
+        """
+        self._advance()
+        foreground = [f for f in self.active if not f.background]
+        background = [f for f in self.active if f.background]
+        rates = maxmin_rates(foreground)
+        for f, r in rates.items():
+            f.rate = r
+        if background:
+            self._allocate_background(foreground, background)
+        self._version += 1
+        next_eta = math.inf
+        for f in self.active:
+            next_eta = min(next_eta, f.eta())
+        if math.isfinite(next_eta):
+            # PRIORITY_HIGH so completion processing at time T runs before
+            # ordinary model callbacks at T observe a stale flow set.
+            self.sim.schedule(next_eta, self._on_completion_timer, self._version,
+                              priority=PRIORITY_HIGH)
+
+    def _allocate_background(self, foreground: list[Flow],
+                             background: list[Flow]) -> None:
+        """Nice-style second pass: background flows share leftover capacity."""
+        residual: dict[Link, float] = {}
+        for f in background:
+            for link in f.links:
+                residual.setdefault(link, link.capacity)
+        for f in foreground:
+            for link in f.links:
+                if link in residual:
+                    residual[link] -= f.rate
+        # Reuse progressive filling by temporarily shrinking link capacities.
+        saved = {link: link.capacity for link in residual}
+        try:
+            for link, room in residual.items():
+                link.capacity = max(room, 1e-9)
+            rates = maxmin_rates(background)
+        finally:
+            for link, cap in saved.items():
+                link.capacity = cap
+        for f, r in rates.items():
+            # A starved background flow gets a vanishing sliver from the
+            # capacity floor above; treat it as fully stalled.
+            f.rate = r if r > 1e-6 else 0.0
+
+    def _on_completion_timer(self, version: int) -> None:
+        if version != self._version:
+            return  # superseded by a later recompute
+        self._advance()
+        finished = [f for f in self.active if f.remaining <= _EPSILON_BYTES]
+        if not finished:
+            self._recompute()
+            return
+        for f in finished:
+            self.active.remove(f)
+            f.remaining = 0.0
+            f.rate = 0.0
+            f.finished_at = self.sim.now
+            self.bytes_delivered += f.size
+            self.flows_completed += 1
+            if self.tracer is not None:
+                self.tracer.record(self.sim.now, "flow.done", flow=f.name,
+                                   size=f.size,
+                                   duration=self.sim.now - f.started_at)
+            f.done.trigger(f)
+        self._recompute()

@@ -1,0 +1,186 @@
+"""Peer-to-peer transfer machinery: connection limits, relays, failures.
+
+BOINC-MR clients keep "a threshold for a maximum number of inter-client
+connections, so as to not overload the network" (Section III.C).  This
+module provides the counting semaphore that enforces it, plus the
+``peer_download`` process that performs one inter-client download end to
+end: traversal establishment (see :mod:`repro.net.nat`), connection-slot
+acquisition at both endpoints, the bulk flow itself (optionally via a
+relay), and probabilistic mid-transfer failure injection.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from ..sim import Event, Simulator
+from .flows import FlowError
+from .nat import ConnectivityPolicy, TraversalMethod, TraversalOutcome
+from .topology import Host, HostOffline, Network
+
+
+class TransferFailed(RuntimeError):
+    """An inter-client download could not be completed."""
+
+    def __init__(self, reason: str, outcome: TraversalOutcome | None = None) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.outcome = outcome
+
+
+class SimSemaphore:
+    """FIFO counting semaphore for simulation processes.
+
+    ``acquire`` returns an event to ``yield`` on; ``release`` wakes the
+    longest-waiting acquirer.  Releases are explicit — pair them in a
+    try/finally inside the owning process.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError("semaphore capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiters: list[Event] = []
+
+    def acquire(self) -> Event:
+        ev = self.sim.event(name=f"sem:{self.name}")
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            ev.trigger()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise RuntimeError(f"semaphore {self.name!r} released below zero")
+        if self._waiters:
+            # Hand the slot straight to the next waiter; in_use is unchanged.
+            self._waiters.pop(0).trigger()
+        else:
+            self.in_use -= 1
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+
+class TransferEndpoint:
+    """Per-host upload/download connection-slot accounting."""
+
+    def __init__(self, sim: Simulator, host: Host,
+                 max_upload_conns: int = 8, max_download_conns: int = 8) -> None:
+        self.host = host
+        self.upload_slots = SimSemaphore(sim, max_upload_conns,
+                                         name=f"{host.name}.up")
+        self.download_slots = SimSemaphore(sim, max_download_conns,
+                                           name=f"{host.name}.down")
+
+
+@dataclasses.dataclass(slots=True)
+class TransferRecord:
+    """Outcome of one peer download attempt."""
+
+    ok: bool
+    method: TraversalMethod | None
+    size: float
+    started_at: float
+    finished_at: float
+    relayed: bool = False
+    failure_reason: str | None = None
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+def peer_download(
+    sim: Simulator,
+    net: Network,
+    policy: ConnectivityPolicy,
+    src: TransferEndpoint,
+    dst: TransferEndpoint,
+    size: float,
+    relay: Host | None = None,
+    failure_rate: float = 0.0,
+    rng: np.random.Generator | None = None,
+    label: str = "",
+) -> _t.Generator:
+    """Process body: download *size* bytes from ``src.host`` to ``dst.host``.
+
+    Returns a :class:`TransferRecord`; raises :class:`TransferFailed` on
+    traversal failure, endpoint churn, or injected failure.  Run it with
+    ``sim.process(peer_download(...))``.
+    """
+    started = sim.now
+    outcome = policy.establish(dst.host.nat, src.host.nat,
+                               client_name=dst.host.name,
+                               server_name=src.host.name)
+    if not outcome.ok:
+        raise TransferFailed(
+            f"no connectivity {dst.host.name} <- {src.host.name}", outcome)
+    if outcome.relayed and relay is None:
+        raise TransferFailed(
+            f"relay required for {dst.host.name} <- {src.host.name} "
+            "but no relay host configured", outcome)
+    if outcome.setup_delay > 0:
+        yield sim.timeout(outcome.setup_delay)
+
+    up = src.upload_slots.acquire()
+    down = dst.download_slots.acquire()
+    try:
+        yield sim.all_of([up, down])
+        rtt = net.rtt(src.host, dst.host)
+        if rtt > 0:
+            yield sim.timeout(rtt)
+        extra = ()
+        if outcome.relayed:
+            assert relay is not None
+            extra = (relay.downlink, relay.uplink)
+        try:
+            flow = net.transfer(src.host, dst.host, size,
+                                label=label or f"p2p:{src.host.name}->{dst.host.name}",
+                                extra_links=extra)
+        except HostOffline as exc:
+            raise TransferFailed(str(exc), outcome) from exc
+
+        if failure_rate > 0 and rng is not None and rng.random() < failure_rate:
+            # Kill the transfer partway through: abort after a random
+            # fraction of its nominal duration.
+            frac = float(rng.uniform(0.05, 0.95))
+            nominal = size / max(flow.rate, 1.0)
+            sim.schedule(frac * nominal, _abort_if_running, net, flow)
+        try:
+            yield flow.done
+        except FlowError as exc:
+            raise TransferFailed(str(exc), outcome) from exc
+    finally:
+        # Slots are granted in FIFO order; if we were interrupted before the
+        # grant the event may still fire later, so release only granted slots
+        # and cancel pending ones.
+        _settle_slot(src.upload_slots, up)
+        _settle_slot(dst.download_slots, down)
+
+    return TransferRecord(ok=True, method=outcome.method, size=size,
+                          started_at=started, finished_at=sim.now,
+                          relayed=outcome.relayed)
+
+
+def _abort_if_running(net: Network, flow) -> None:
+    if not flow.finished:
+        net.flownet.abort_flow(flow, reason="injected transfer failure")
+
+
+def _settle_slot(sem: SimSemaphore, grant: Event) -> None:
+    """Release a granted slot, or arrange release for an in-flight grant."""
+    if grant.triggered:
+        sem.release()
+    else:
+        # Still queued: when the grant eventually fires, give it back.
+        grant.add_callback(lambda _ev: sem.release())

@@ -1,0 +1,87 @@
+"""The MapReduce programming API (what the paper defers to future work).
+
+The paper's prototype hard-coded word count into the application; "a
+'full-blown' MapReduce API" is listed as future work.  This module is that
+API: users subclass :class:`MapReduceApp` (or compose mapper/reducer
+callables) and run it on the local engine (:mod:`repro.runtime.engine`)
+for real results, or hand its cost profile to the simulator for
+cluster-scale studies.
+
+Semantics follow the Dean & Ghemawat model the paper builds on:
+
+- ``map(key, value) -> iterable[(k2, v2)]``
+- ``reduce(k2, values) -> iterable[v3]``
+- optional ``combine`` (a local reduce after each map task)
+- partitioning is ``hash(k2) mod n_reducers`` — exactly the paper's
+  "each map output's key ... is hashed and the output file ... decided
+  based on ... modulo the number of reducers".
+"""
+
+from __future__ import annotations
+
+import typing as _t
+import zlib
+
+K1 = _t.TypeVar("K1")
+V1 = _t.TypeVar("V1")
+K2 = _t.TypeVar("K2")
+V2 = _t.TypeVar("V2")
+V3 = _t.TypeVar("V3")
+
+MapFn = _t.Callable[[K1, V1], _t.Iterable[tuple[K2, V2]]]
+ReduceFn = _t.Callable[[K2, _t.List[V2]], _t.Iterable[V3]]
+
+
+def default_partition(key: _t.Any, n_reducers: int) -> int:
+    """Stable hash(key) mod n_reducers (stable across runs and processes).
+
+    Python's builtin ``hash`` is salted per process for strings, which
+    would make partition assignment nondeterministic — unacceptable for a
+    system whose validator compares replica outputs bit for bit.  CRC32 of
+    the repr is stable, cheap, and uniform enough.
+    """
+    if n_reducers < 1:
+        raise ValueError("n_reducers must be >= 1")
+    data = key if isinstance(key, bytes) else repr(key).encode("utf-8")
+    return zlib.crc32(data) % n_reducers
+
+
+class MapReduceApp:
+    """Base class for MapReduce applications.
+
+    Subclasses override :meth:`map` and :meth:`reduce`; :meth:`combine`
+    defaults to None (no combiner).
+    """
+
+    #: Human-readable application name (used in file naming and traces).
+    name: str = "app"
+
+    def map(self, key: _t.Any, value: _t.Any) -> _t.Iterable[tuple[_t.Any, _t.Any]]:
+        raise NotImplementedError
+
+    def reduce(self, key: _t.Any, values: list) -> _t.Iterable[_t.Any]:
+        raise NotImplementedError
+
+    #: Optional combiner; when set, runs as a local reduce per map task.
+    combine: ReduceFn | None = None
+
+    def partition(self, key: _t.Any, n_reducers: int) -> int:
+        return default_partition(key, n_reducers)
+
+
+class FnApp(MapReduceApp):
+    """Compose an app from plain callables (no subclassing needed)."""
+
+    def __init__(self, map_fn: MapFn, reduce_fn: ReduceFn,
+                 combine_fn: ReduceFn | None = None,
+                 name: str = "fn_app") -> None:
+        self._map = map_fn
+        self._reduce = reduce_fn
+        self.combine = combine_fn
+        self.name = name
+
+    def map(self, key, value):
+        return self._map(key, value)
+
+    def reduce(self, key, values):
+        return self._reduce(key, values)

@@ -1,0 +1,52 @@
+"""Distributed grep: map emits matching lines, reduce passes them through.
+
+One of the canonical MapReduce examples (Dean & Ghemawat §2.3) and a
+useful contrast to word count for the "which scenarios are the most
+suited" question the paper leaves open: grep is map-heavy with tiny
+intermediate data, so inter-client transfers matter much less.
+"""
+
+from __future__ import annotations
+
+import re
+import typing as _t
+
+from ..api import MapReduceApp
+
+
+class DistributedGrep(MapReduceApp):
+    """Find lines matching a regex; output maps pattern hits to lines."""
+
+    name = "grep"
+
+    def __init__(self, pattern: bytes) -> None:
+        self.regex = re.compile(pattern)
+
+    def map(self, key: int, value: bytes) -> _t.Iterator[tuple[bytes, bytes]]:
+        match = self.regex.search(value)
+        if match is not None:
+            yield match.group(0), value
+
+    def reduce(self, key: bytes, values: list[bytes]) -> _t.Iterator[list[bytes]]:
+        yield sorted(values)
+
+
+class MatchCount(MapReduceApp):
+    """Count matches per captured pattern (the Bloom-filter-ish variant
+    discussed in the paper's related work: return small summaries, rerun
+    interesting hits locally)."""
+
+    name = "matchcount"
+
+    def __init__(self, pattern: bytes) -> None:
+        self.regex = re.compile(pattern)
+
+    def map(self, key: int, value: bytes) -> _t.Iterator[tuple[bytes, int]]:
+        for match in self.regex.finditer(value):
+            yield match.group(0), 1
+
+    def reduce(self, key: bytes, values: list[int]) -> _t.Iterator[int]:
+        yield sum(values)
+
+    def combine(self, key: bytes, values: list[int]) -> _t.Iterator[int]:
+        yield sum(values)

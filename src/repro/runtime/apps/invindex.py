@@ -1,0 +1,30 @@
+"""Inverted index: term -> sorted list of documents containing it.
+
+Input records are ``doc_id<TAB>text`` lines; the map emits (term, doc_id)
+postings and the reduce deduplicates and sorts each posting list.  Another
+Dean & Ghemawat canonical, and the heaviest of the bundled apps on the
+reduce side.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..api import MapReduceApp
+
+
+class InvertedIndex(MapReduceApp):
+    """Build term -> [doc_id, ...] postings from doc-tagged lines."""
+
+    name = "invindex"
+
+    def map(self, key: int, value: bytes) -> _t.Iterator[tuple[bytes, bytes]]:
+        doc_id, _sep, text = value.partition(b"\t")
+        if not _sep:
+            # Untagged line: treat the record offset as the document id.
+            doc_id, text = str(key).encode(), value
+        for term in text.split():
+            yield term, doc_id
+
+    def reduce(self, key: bytes, values: list[bytes]) -> _t.Iterator[list[bytes]]:
+        yield sorted(set(values))

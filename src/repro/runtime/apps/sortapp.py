@@ -1,0 +1,58 @@
+"""Distributed sort: range-partitioned TeraSort-style ordering.
+
+Unlike the hash partitioner, sort needs *range* partitioning so that
+concatenating reducer outputs in partition order yields a globally sorted
+sequence.  Partition boundaries are taken from a sample of the input
+(:func:`sample_boundaries`), as real distributed sorts do.
+"""
+
+from __future__ import annotations
+
+import bisect
+import typing as _t
+
+from ..api import MapReduceApp
+
+
+def sample_boundaries(keys: _t.Sequence[bytes], n_reducers: int) -> list[bytes]:
+    """Pick ``n_reducers - 1`` split points from a key sample."""
+    if n_reducers < 1:
+        raise ValueError("n_reducers must be >= 1")
+    if n_reducers == 1 or not keys:
+        return []
+    ordered = sorted(keys)
+    return [ordered[len(ordered) * i // n_reducers]
+            for i in range(1, n_reducers)]
+
+
+class DistributedSort(MapReduceApp):
+    """Sort input lines; reducer *r* receives the r-th key range."""
+
+    name = "sort"
+
+    def __init__(self, boundaries: _t.Sequence[bytes]) -> None:
+        self.boundaries = list(boundaries)
+
+    def map(self, key: int, value: bytes) -> _t.Iterator[tuple[bytes, None]]:
+        yield value, None
+
+    def reduce(self, key: bytes, values: list[None]) -> _t.Iterator[int]:
+        # Duplicates are preserved as a multiplicity count.
+        yield len(values)
+
+    def partition(self, key: bytes, n_reducers: int) -> int:
+        if len(self.boundaries) != n_reducers - 1:
+            raise ValueError(
+                f"need {n_reducers - 1} boundaries for {n_reducers} reducers, "
+                f"have {len(self.boundaries)}")
+        return bisect.bisect_right(self.boundaries, key)
+
+
+def merge_sorted_output(outputs_by_reducer: _t.Sequence[dict]) -> list[bytes]:
+    """Concatenate per-reducer outputs (in partition order) into the
+    globally sorted key sequence, expanding duplicate multiplicities."""
+    merged: list[bytes] = []
+    for output in outputs_by_reducer:
+        for key in sorted(output):
+            merged.extend([key] * output[key])
+    return merged

@@ -1,0 +1,34 @@
+"""Word count — the paper's proof-of-concept application (Section III.C).
+
+"The map function reads an input file word by word and outputs one line
+per word, with the format 'word 1' ... The reduce application reads one
+line at a time, and increments the count for each unique word."
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..api import MapReduceApp
+
+
+class WordCount(MapReduceApp):
+    """Count occurrences of each whitespace-separated word."""
+
+    name = "wordcount"
+
+    def __init__(self, lowercase: bool = False) -> None:
+        self.lowercase = lowercase
+
+    def map(self, key: int, value: bytes) -> _t.Iterator[tuple[bytes, int]]:
+        line = value.lower() if self.lowercase else value
+        for word in line.split():
+            yield word, 1
+
+    def reduce(self, key: bytes, values: list[int]) -> _t.Iterator[int]:
+        yield sum(values)
+
+    # Summing is associative/commutative, so the combiner is the reducer —
+    # the classic word-count optimisation (shrinks intermediate data).
+    def combine(self, key: bytes, values: list[int]) -> _t.Iterator[int]:
+        yield sum(values)

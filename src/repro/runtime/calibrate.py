@@ -1,0 +1,109 @@
+"""Derive simulator cost models from measured runs of the real runtime.
+
+The simulation's :class:`~repro.core.costmodel.MapReduceCostModel` has four
+parameters; three of them (intermediate ratio, final-output ratio, and the
+map/reduce throughput *ratio*) are properties of the application, not the
+hardware, and can be measured by running the actual application on a
+corpus sample.  :func:`measure_cost_model` does exactly that, then anchors
+absolute throughput to a reference scale (by default the paper-calibrated
+word-count map throughput) so simulated runs remain comparable to Table I
+while data volumes reflect the *real* application.
+
+This closes the loop between the two halves of the reproduction: the
+executable runtime defines the workload, the simulator predicts its
+cluster-scale behaviour.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from ..core.costmodel import MapReduceCostModel
+from .api import MapReduceApp
+from .engine import LocalRunner
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Measurement:
+    """Raw measurements from one local profiling run."""
+
+    input_bytes: int
+    intermediate_bytes: int
+    output_bytes: int
+    map_seconds: float
+    reduce_seconds: float
+
+    @property
+    def intermediate_ratio(self) -> float:
+        return self.intermediate_bytes / max(self.input_bytes, 1)
+
+    @property
+    def final_output_ratio(self) -> float:
+        return self.output_bytes / max(self.intermediate_bytes, 1)
+
+    @property
+    def map_throughput(self) -> float:
+        """Measured map bytes/s on this machine."""
+        return self.input_bytes / max(self.map_seconds, 1e-9)
+
+    @property
+    def reduce_throughput(self) -> float:
+        return self.intermediate_bytes / max(self.reduce_seconds, 1e-9)
+
+
+def profile_app(app: MapReduceApp, corpus: bytes, n_maps: int = 8,
+                n_reducers: int = 4) -> Measurement:
+    """Run *app* on *corpus* locally and measure times and volumes."""
+    if not corpus:
+        raise ValueError("corpus must be non-empty")
+    runner = LocalRunner(app, n_maps, n_reducers)
+    from .splitter import split_text
+
+    chunks = split_text(corpus, n_maps)
+    blobs: dict[tuple[int, int], bytes] = {}
+    t0 = time.perf_counter()
+    for i, chunk in enumerate(chunks):
+        _report, bs = runner.run_map_task(i, chunk)
+        for r, blob in bs.items():
+            blobs[(i, r)] = blob
+    map_seconds = time.perf_counter() - t0
+    intermediate = sum(len(b) for b in blobs.values())
+    t0 = time.perf_counter()
+    output_bytes = 0
+    for r in range(n_reducers):
+        report, _out = runner.run_reduce_task(
+            r, [blobs[(i, r)] for i in range(n_maps)])
+        output_bytes += report.bytes_out
+    reduce_seconds = time.perf_counter() - t0
+    return Measurement(
+        input_bytes=len(corpus),
+        intermediate_bytes=intermediate,
+        output_bytes=output_bytes,
+        map_seconds=map_seconds,
+        reduce_seconds=reduce_seconds,
+    )
+
+
+def measure_cost_model(app: MapReduceApp, corpus: bytes, *,
+                       n_maps: int = 8, n_reducers: int = 4,
+                       anchor_map_throughput: float = 0.6e6
+                       ) -> MapReduceCostModel:
+    """A cost model with measured ratios, anchored to a reference scale.
+
+    ``anchor_map_throughput`` rescales the measured absolute speeds so the
+    model is expressed in "paper-reference-host" terms (the pc3001 class
+    maps word count at ~0.6 MB/s): the *ratio* between this app's map and
+    reduce speeds — and all data volumes — come from the measurement; only
+    the overall scale is anchored.
+    """
+    m = profile_app(app, corpus, n_maps=n_maps, n_reducers=n_reducers)
+    if anchor_map_throughput <= 0:
+        raise ValueError("anchor_map_throughput must be positive")
+    scale = anchor_map_throughput / m.map_throughput
+    return MapReduceCostModel(
+        map_throughput=anchor_map_throughput,
+        reduce_throughput=max(m.reduce_throughput * scale, 1e-9),
+        intermediate_ratio=m.intermediate_ratio,
+        final_output_ratio=m.final_output_ratio,
+    )

@@ -1,0 +1,169 @@
+"""Deterministic discrete-event simulation engine.
+
+The :class:`Simulator` owns a priority queue of ``(time, priority, seq,
+callable)`` entries.  ``seq`` is a monotonically increasing tie-breaker so
+that callbacks scheduled for the same instant run in FIFO order — this is
+what makes every run with the same seed bit-identical, an invariant the
+property tests rely on.
+
+The engine is callback-based at the bottom; generator-based *processes*
+(:mod:`repro.sim.process`) are layered on top and are the main way model
+code is written.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import typing as _t
+
+from .events import AllOf, AnyOf, Event, Timeout
+
+#: Scheduling priority for ordinary callbacks.
+PRIORITY_NORMAL = 0
+#: Runs before normal callbacks at the same timestamp (used by the network
+#: model to retract stale flow-completion events before new ones fire).
+PRIORITY_HIGH = -1
+#: Runs after normal callbacks at the same timestamp.
+PRIORITY_LOW = 1
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the engine (e.g. scheduling into the past)."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(5.0, print, "five seconds in")
+        sim.run(until=10.0)
+
+    Model code normally does not call :meth:`schedule` directly but spawns
+    processes via :meth:`process` and creates events via :meth:`event` /
+    :meth:`timeout`.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[tuple[float, int, int, _t.Callable[..., None], tuple]] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        #: Number of callbacks executed so far (diagnostic).
+        self.dispatch_count = 0
+
+    # -- clock --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(self, delay: float, fn: _t.Callable[..., None], *args: _t.Any,
+                 priority: int = PRIORITY_NORMAL) -> None:
+        """Run ``fn(*args)`` *delay* seconds from now."""
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(f"cannot schedule {delay!r} seconds into the past")
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._seq), fn, args)
+        )
+
+    def at(self, when: float, fn: _t.Callable[..., None], *args: _t.Any,
+           priority: int = PRIORITY_NORMAL) -> None:
+        """Run ``fn(*args)`` at absolute simulated time *when*."""
+        self.schedule(when - self._now, fn, *args, priority=priority)
+
+    def call_soon(self, fn: _t.Callable[..., None], *args: _t.Any) -> None:
+        """Run ``fn(*args)`` at the current instant, after pending callbacks."""
+        self.schedule(0.0, fn, *args)
+
+    # -- event / process factories -------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending :class:`Event` owned by this simulator."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: _t.Any = None, name: str = "") -> Timeout:
+        """Create an event that fires *delay* seconds from now."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def all_of(self, events: _t.Iterable[Event]) -> AllOf:
+        """Event that fires when all *events* have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: _t.Iterable[Event]) -> AnyOf:
+        """Event that fires when the first of *events* fires."""
+        return AnyOf(self, events)
+
+    def process(self, gen: _t.Generator, name: str = "") -> "Process":
+        """Spawn a generator-based process; see :mod:`repro.sim.process`."""
+        from .process import Process  # local import to avoid a cycle
+
+        return Process(self, gen, name=name)
+
+    # -- execution -------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next scheduled callback.  Returns False when empty."""
+        if not self._queue:
+            return False
+        when, _prio, _seq, fn, args = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - defensive; cannot happen
+            raise SimulationError("event queue went backwards in time")
+        self._now = when
+        self.dispatch_count += 1
+        fn(*args)
+        return True
+
+    def peek(self) -> float:
+        """Timestamp of the next scheduled callback, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else math.inf
+
+    def run(self, until: float | None = None,
+            until_event: Event | None = None,
+            max_steps: int | None = None) -> None:
+        """Run until the queue drains, *until* is reached, or *until_event* fires.
+
+        When *until* is given the clock is advanced exactly to *until* even
+        if the queue drains earlier, mirroring simpy semantics.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        self._stopped = False
+        steps = 0
+        try:
+            while self._queue and not self._stopped:
+                if until_event is not None and until_event.triggered:
+                    break
+                if until is not None and self._queue[0][0] > until:
+                    break
+                if max_steps is not None and steps >= max_steps:
+                    raise SimulationError(
+                        f"exceeded max_steps={max_steps}; likely a livelock "
+                        f"(t={self._now:.3f}, queue={len(self._queue)})"
+                    )
+                self.step()
+                steps += 1
+        finally:
+            self._running = False
+        # Advance the clock to `until` only when the run genuinely reached
+        # it — never after stop() or an until_event fired with callbacks
+        # still queued (the clock must not jump past pending events).
+        if (until is not None and self._now < until and not self._stopped
+                and (until_event is None or not until_event.triggered)
+                and (not self._queue or self._queue[0][0] > until)):
+            self._now = until
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current callback returns."""
+        self._stopped = True
+
+    def pending(self) -> int:
+        """Number of callbacks currently scheduled."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Simulator t={self._now:.3f} pending={len(self._queue)}>"

@@ -1,0 +1,18 @@
+"""Volunteer host modelling: availability, churn, departures."""
+
+from .availability import AvailabilityModel, ChurnController
+from .traces import (
+    AvailabilityTrace,
+    TraceChurnController,
+    diurnal_trace,
+    load_traces_csv,
+)
+
+__all__ = [
+    "AvailabilityModel",
+    "ChurnController",
+    "AvailabilityTrace",
+    "TraceChurnController",
+    "diurnal_trace",
+    "load_traces_csv",
+]

@@ -1,0 +1,115 @@
+"""Volunteer availability and churn modelling.
+
+The paper ran on a dedicated testbed ("we did not consider node failure in
+our tests") but the whole point of BOINC-MR is the *unreliable* volunteer
+environment, and its fallback mechanisms exist because of churn.  This
+module provides the standard two-state availability model used in desktop
+grid studies: alternating exponentially distributed ON/OFF periods per
+host, plus a permanent-departure hazard.
+
+:class:`ChurnController` drives a set of clients through that process —
+taking a client offline kills its flows and running tasks (the server
+recovers via deadline timeouts and replica creation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from ..boinc.client import Client
+from ..sim import Simulator, Tracer
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class AvailabilityModel:
+    """Two-state ON/OFF availability with optional permanent departure."""
+
+    mean_on_s: float = 4 * 3600.0
+    mean_off_s: float = 1 * 3600.0
+    #: Probability that an OFF transition is permanent (user uninstalls).
+    departure_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mean_on_s <= 0 or self.mean_off_s <= 0:
+            raise ValueError("mean durations must be positive")
+        if not 0.0 <= self.departure_prob <= 1.0:
+            raise ValueError("departure_prob must be in [0, 1]")
+
+    def draw_on(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean_on_s))
+
+    def draw_off(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean_off_s))
+
+
+class ChurnController:
+    """Applies an :class:`AvailabilityModel` to live clients.
+
+    Going offline is *abrupt*: running tasks fail, in-flight transfers are
+    aborted, and peers serving from this host lose their source — exactly
+    the failure surface the paper's retry/fallback design targets.  A host
+    coming back re-registers nothing; its client simply resumes the pull
+    loop (BOINC semantics: state is client-side).
+    """
+
+    def __init__(self, sim: Simulator, rng: np.random.Generator,
+                 model: AvailabilityModel,
+                 tracer: Tracer | None = None) -> None:
+        self.sim = sim
+        self.rng = rng
+        self.model = model
+        self.tracer = tracer
+        self.departed: set[str] = set()
+        self.transitions = 0
+
+    def manage(self, client: Client) -> None:
+        """Start driving *client* through ON/OFF cycles."""
+        self.sim.process(self._lifecycle(client), name=f"churn:{client.name}")
+
+    def manage_all(self, clients: _t.Iterable[Client]) -> None:
+        for c in clients:
+            self.manage(c)
+
+    def _lifecycle(self, client: Client) -> _t.Generator:
+        while True:
+            yield self.model.draw_on(self.rng)
+            # -- go offline ------------------------------------------------
+            permanent = self.rng.random() < self.model.departure_prob
+            self.transitions += 1
+            if self.tracer is not None:
+                self.tracer.record(self.sim.now, "churn.offline",
+                                   host=client.name, permanent=permanent)
+            self._take_offline(client)
+            if permanent:
+                self.departed.add(client.name)
+                return
+            yield self.model.draw_off(self.rng)
+            # -- come back -------------------------------------------------
+            self.transitions += 1
+            if self.tracer is not None:
+                self.tracer.record(self.sim.now, "churn.online",
+                                   host=client.name)
+            self._bring_online(client)
+
+    def _take_offline(self, client: Client) -> None:
+        # Kill running task processes; the client's main loop pauses.
+        for proc in client._task_procs:
+            if proc.alive:
+                proc.interrupt("host offline")
+        client._task_procs = [p for p in client._task_procs if p.alive]
+        client._paused = True
+        if client._main_proc is not None and client._main_proc.alive:
+            client._main_proc.interrupt("host offline")
+        client._main_proc = None
+        client.net.set_online(client.host, False)
+
+    def _bring_online(self, client: Client) -> None:
+        client.net.set_online(client.host, True)
+        client._paused = False
+        client._stopped = False
+        # Unreported finished tasks survive the outage (client-side state).
+        client._main_proc = client.sim.process(
+            client._main(), name=f"client:{client.name}")

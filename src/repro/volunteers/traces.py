@@ -1,0 +1,163 @@
+"""Availability traces: replaying recorded volunteer uptime patterns.
+
+Desktop-grid research commonly drives simulations from availability
+traces (e.g. the Failure Trace Archive's SETI@home and Notre Dame
+collections) rather than analytic ON/OFF models.  This module provides:
+
+- :class:`AvailabilityTrace` — an explicit list of ``[start, end)``
+  availability intervals for one host, with validation and queries;
+- :func:`load_traces_csv` — a simple ``host,start,end`` CSV reader;
+- :func:`diurnal_trace` — a synthetic weekday/evening pattern generator
+  (volunteer machines are famously available outside office hours);
+- :class:`TraceChurnController` — drives clients from traces, the
+  deterministic counterpart of
+  :class:`~repro.volunteers.availability.ChurnController`.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import typing as _t
+
+import numpy as np
+
+from ..boinc.client import Client
+from ..sim import Simulator, Tracer
+from .availability import ChurnController
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class AvailabilityTrace:
+    """Sorted, non-overlapping ``[start, end)`` intervals of availability."""
+
+    host: str
+    intervals: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        prev_end = -float("inf")
+        for start, end in self.intervals:
+            if end <= start:
+                raise ValueError(
+                    f"trace {self.host}: empty interval [{start}, {end})")
+            if start < prev_end:
+                raise ValueError(
+                    f"trace {self.host}: overlapping/unsorted at {start}")
+            prev_end = end
+
+    def available_at(self, t: float) -> bool:
+        return any(start <= t < end for start, end in self.intervals)
+
+    @property
+    def total_available(self) -> float:
+        return sum(end - start for start, end in self.intervals)
+
+    def availability_fraction(self, horizon: float) -> float:
+        """Fraction of [0, horizon) covered by availability."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        covered = sum(max(0.0, min(end, horizon) - min(start, horizon))
+                      for start, end in self.intervals)
+        return covered / horizon
+
+
+def load_traces_csv(source: str | _t.TextIO) -> dict[str, AvailabilityTrace]:
+    """Parse ``host,start,end`` rows (header optional) into traces."""
+    if isinstance(source, str):
+        source = io.StringIO(source)
+    rows: dict[str, list[tuple[float, float]]] = {}
+    for row in csv.reader(source):
+        if not row or row[0].strip().lower() == "host":
+            continue
+        if len(row) != 3:
+            raise ValueError(f"expected host,start,end — got {row!r}")
+        host, start, end = row[0].strip(), float(row[1]), float(row[2])
+        rows.setdefault(host, []).append((start, end))
+    return {
+        host: AvailabilityTrace(host=host,
+                                intervals=tuple(sorted(intervals)))
+        for host, intervals in rows.items()
+    }
+
+
+def diurnal_trace(host: str, days: int, *,
+                  rng: np.random.Generator,
+                  evening_start_h: float = 18.0,
+                  evening_len_h: float = 5.0,
+                  weekend_all_day: bool = True,
+                  jitter_h: float = 1.0) -> AvailabilityTrace:
+    """A home-PC availability pattern: evenings on weekdays, long weekends.
+
+    Deterministic under *rng*; start times and session lengths are
+    jittered by up to ``jitter_h`` hours.
+    """
+    if days < 1:
+        raise ValueError("days must be >= 1")
+    hour = 3600.0
+    intervals: list[tuple[float, float]] = []
+    for day in range(days):
+        day_start = day * 24 * hour
+        weekend = day % 7 in (5, 6)
+        if weekend and weekend_all_day:
+            start = day_start + (9.0 + rng.uniform(0, jitter_h)) * hour
+            end = day_start + (23.0 - rng.uniform(0, jitter_h)) * hour
+        else:
+            start = day_start + (evening_start_h
+                                 + rng.uniform(-jitter_h, jitter_h)) * hour
+            end = start + (evening_len_h
+                           + rng.uniform(-jitter_h, jitter_h)) * hour
+        if end > start:
+            intervals.append((start, end))
+    return AvailabilityTrace(host=host, intervals=tuple(intervals))
+
+
+class TraceChurnController:
+    """Drive clients' availability from explicit traces."""
+
+    def __init__(self, sim: Simulator, tracer: Tracer | None = None) -> None:
+        self.sim = sim
+        self.tracer = tracer
+        self._impl = ChurnController(
+            sim, rng=np.random.default_rng(0),
+            model=_DUMMY_MODEL, tracer=tracer)
+
+    def manage(self, client: Client, trace: AvailabilityTrace) -> None:
+        self.sim.process(self._lifecycle(client, trace),
+                         name=f"trace:{client.name}")
+
+    def _lifecycle(self, client: Client,
+                   trace: AvailabilityTrace) -> _t.Generator:
+        # A client starts online (its start() already ran); if the trace
+        # says it is offline at t=0, take it down immediately.
+        online = True
+        for start, end in trace.intervals:
+            if self.sim.now < start:
+                if online:
+                    self._offline(client)
+                    online = False
+                yield self.sim.timeout(start - self.sim.now)
+            if not online:
+                self._online(client)
+                online = True
+            if self.sim.now < end:
+                yield self.sim.timeout(end - self.sim.now)
+        if online:
+            self._offline(client)
+
+    def _offline(self, client: Client) -> None:
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, "churn.offline",
+                               host=client.name, permanent=False)
+        self._impl._take_offline(client)
+
+    def _online(self, client: Client) -> None:
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, "churn.online", host=client.name)
+        self._impl._bring_online(client)
+
+
+# Internal placeholder; TraceChurnController never draws from the model.
+from .availability import AvailabilityModel as _AM  # noqa: E402
+
+_DUMMY_MODEL = _AM()

@@ -1,0 +1,5 @@
+"""Workload generators: synthetic Zipf text corpora and document tagging."""
+
+from .corpus import generate_corpus, make_vocabulary, tag_documents, zipf_weights
+
+__all__ = ["generate_corpus", "make_vocabulary", "tag_documents", "zipf_weights"]

@@ -1,0 +1,67 @@
+"""Unit tests for MapReduce cost models."""
+
+import pytest
+
+from repro.core import GREP, INVERTED_INDEX, WORD_COUNT, MapReduceCostModel
+
+
+class TestValidation:
+    def test_nonpositive_throughput_rejected(self):
+        with pytest.raises(ValueError):
+            MapReduceCostModel(0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            MapReduceCostModel(1, -1, 1, 1)
+
+    def test_negative_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            MapReduceCostModel(1, 1, -0.1, 1)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            WORD_COUNT.map_throughput = 1.0
+
+
+class TestQuantities:
+    def test_map_flops_linear_in_chunk(self):
+        assert WORD_COUNT.map_flops(2e6) == pytest.approx(
+            2 * WORD_COUNT.map_flops(1e6))
+
+    def test_map_output_split_over_reducers(self):
+        per = WORD_COUNT.map_output_bytes(100e6, 5)
+        assert per == pytest.approx(100e6 * WORD_COUNT.intermediate_ratio / 5)
+
+    def test_reduce_input_is_all_partitions(self):
+        total = WORD_COUNT.reduce_input_bytes(50e6, n_maps=20, n_reducers=5)
+        assert total == pytest.approx(
+            20 * WORD_COUNT.map_output_bytes(50e6, 5))
+
+    def test_reduce_input_conserves_intermediate_volume(self):
+        # Sum over reducers of reduce input == total intermediate data.
+        chunk, n_maps, n_red = 50e6, 20, 5
+        per_reducer = WORD_COUNT.reduce_input_bytes(chunk, n_maps, n_red)
+        total_intermediate = chunk * n_maps * WORD_COUNT.intermediate_ratio
+        assert per_reducer * n_red == pytest.approx(total_intermediate)
+
+    def test_reduce_flops(self):
+        flops = WORD_COUNT.reduce_flops(50e6, 20, 5)
+        assert flops == pytest.approx(
+            WORD_COUNT.reduce_input_bytes(50e6, 20, 5)
+            / WORD_COUNT.reduce_throughput)
+
+    def test_invalid_reducer_count(self):
+        with pytest.raises(ValueError):
+            WORD_COUNT.map_output_bytes(1e6, 0)
+
+
+class TestProfiles:
+    def test_grep_is_map_light_and_small_intermediate(self):
+        assert GREP.map_throughput > WORD_COUNT.map_throughput
+        assert GREP.intermediate_ratio < WORD_COUNT.intermediate_ratio
+
+    def test_inverted_index_is_heaviest(self):
+        assert INVERTED_INDEX.map_throughput < WORD_COUNT.map_throughput
+        assert INVERTED_INDEX.intermediate_ratio > WORD_COUNT.intermediate_ratio
+
+    def test_wordcount_paper_geometry(self):
+        # 1 GB / 20 maps = 50 MB chunks; 5 reducers -> 200 MB per reducer.
+        assert WORD_COUNT.reduce_input_bytes(50e6, 20, 5) == pytest.approx(200e6)

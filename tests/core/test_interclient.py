@@ -1,0 +1,94 @@
+"""Unit tests for the peer-serving store (Section III.C semantics)."""
+
+import pytest
+
+from repro.boinc import FileRef
+from repro.core import PeerStore
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def store(sim):
+    return PeerStore(sim, serve_timeout_s=100.0)
+
+
+class TestServing:
+    def test_serve_and_get(self, store):
+        store.serve(FileRef("f", 10), job="j")
+        assert store.available("f")
+        ref = store.get("f")
+        assert ref.size == 10
+        assert store.bytes_served == 10
+
+    def test_unserved_file_unavailable(self, store):
+        assert not store.available("nope")
+        with pytest.raises(KeyError):
+            store.get("nope")
+
+    def test_timeout_expires_serving(self, sim, store):
+        store.serve(FileRef("f", 10), job="j")
+        sim.schedule(150.0, lambda: None)
+        sim.run()
+        assert not store.available("f")
+        with pytest.raises(KeyError, match="timeout"):
+            store.get("f")
+
+    def test_renew_resets_expiry_even_after_reached(self, sim, store):
+        """Section III.C: "the map outputs' timeout is reset (even if it
+        has already been reached in the meantime)"."""
+        store.serve(FileRef("f", 10), job="j")
+        sim.schedule(150.0, lambda: None)
+        sim.run()
+        assert not store.available("f")
+        assert store.renew("f") is True
+        assert store.available("f")
+
+    def test_renew_unknown_file(self, store):
+        assert store.renew("nope") is False
+
+    def test_renew_job_renews_all(self, sim, store):
+        store.serve(FileRef("a", 1), job="j1")
+        store.serve(FileRef("b", 1), job="j1")
+        store.serve(FileRef("c", 1), job="j2")
+        sim.schedule(150.0, lambda: None)
+        sim.run()
+        assert store.renew_job("j1") == 2
+        assert store.available("a") and store.available("b")
+        assert not store.available("c")
+
+    def test_stop_job_withdraws_files(self, store):
+        store.serve(FileRef("a", 1), job="j1")
+        store.serve(FileRef("b", 1), job="j2")
+        assert store.stop_job("j1") == 1
+        assert not store.available("a")
+        assert store.available("b")
+
+    def test_serving_count_excludes_expired(self, sim, store):
+        store.serve(FileRef("a", 1), job="j")
+        assert store.serving_count == 1
+        sim.schedule(150.0, lambda: None)
+        sim.run()
+        store.serve(FileRef("b", 1), job="j")
+        assert store.serving_count == 1
+
+    def test_reserve_restarts_window(self, sim, store):
+        store.serve(FileRef("f", 10), job="j")
+        sim.schedule(90.0, lambda: store.serve(FileRef("f", 10), job="j"))
+        sim.schedule(150.0, lambda: None)
+        sim.run()
+        assert store.available("f")  # re-serve at t=90 extends to t=190
+
+    def test_download_counter(self, store):
+        store.serve(FileRef("f", 10), job="j")
+        store.get("f")
+        store.get("f")
+        assert store._files["f"].downloads == 2
+
+    def test_invalid_timeout(self, sim):
+        with pytest.raises(ValueError):
+            PeerStore(sim, serve_timeout_s=0)

@@ -1,0 +1,87 @@
+"""Tests for the file-backed MapReduce runner."""
+
+import collections
+
+import pytest
+
+from repro.runtime import FileRunner, LocalRunner
+from repro.runtime.apps import WordCount
+from repro.workloads import generate_corpus
+
+
+@pytest.fixture
+def corpus_file(tmp_path):
+    corpus = generate_corpus(50_000, seed=9)
+    path = tmp_path / "input.txt"
+    path.write_bytes(corpus)
+    return path, corpus
+
+
+class TestFileRunner:
+    def test_matches_in_memory_runner(self, tmp_path, corpus_file):
+        path, corpus = corpus_file
+        fr = FileRunner(WordCount(), 4, 2, tmp_path / "work", job_name="wc")
+        report = fr.run(path)
+        memory = LocalRunner(WordCount(), 4, 2).run(corpus)
+        assert report.output == memory.output
+
+    def test_partition_files_named_like_simulated_system(self, tmp_path,
+                                                         corpus_file):
+        path, _ = corpus_file
+        fr = FileRunner(WordCount(), 3, 2, tmp_path / "work", job_name="wc")
+        fr.run(path)
+        for i in range(3):
+            for r in range(2):
+                assert (tmp_path / "work" / f"wc_m{i}_r{r}").exists()
+
+    def test_output_files_paper_format(self, tmp_path, corpus_file):
+        path, corpus = corpus_file
+        fr = FileRunner(WordCount(), 2, 2, tmp_path / "work")
+        fr.run(path)
+        line = fr.output_path(0).read_bytes().splitlines()[0]
+        word, _sep, count = line.rpartition(b" ")
+        assert count.isdigit()
+        assert word in corpus
+
+    def test_merged_output_round_trips(self, tmp_path, corpus_file):
+        path, corpus = corpus_file
+        fr = FileRunner(WordCount(), 4, 3, tmp_path / "work")
+        fr.run(path)
+        merged = fr.merged_output()
+        assert merged == dict(collections.Counter(corpus.split()))
+
+    def test_partition_sizes_recorded(self, tmp_path, corpus_file):
+        path, _ = corpus_file
+        fr = FileRunner(WordCount(), 2, 2, tmp_path / "work")
+        report = fr.run(path)
+        assert len(report.partition_bytes) == 4
+        for (i, r), size in report.partition_bytes.items():
+            assert size == fr.partition_path(i, r).stat().st_size
+
+    def test_cleanup_intermediate(self, tmp_path, corpus_file):
+        path, _ = corpus_file
+        fr = FileRunner(WordCount(), 2, 2, tmp_path / "work")
+        fr.run(path, cleanup_intermediate=True)
+        assert not fr.partition_path(0, 0).exists()
+        assert fr.output_path(0).exists()
+
+    def test_reduce_before_map_fails(self, tmp_path):
+        fr = FileRunner(WordCount(), 2, 2, tmp_path / "work")
+        with pytest.raises(FileNotFoundError, match="map task"):
+            fr.run_reduce_task(0)
+
+    def test_map_tasks_runnable_out_of_order(self, tmp_path, corpus_file):
+        """Map tasks are independent — any execution order works (the
+        volunteer cloud runs them on different machines at random times)."""
+        path, corpus = corpus_file
+        from repro.runtime import split_text
+
+        chunks = split_text(corpus, 4)
+        fr = FileRunner(WordCount(), 4, 2, tmp_path / "work")
+        for i in (3, 0, 2, 1):
+            fr.run_map_task(i, chunks[i])
+        output = {}
+        for r in range(2):
+            _rep, part = fr.run_reduce_task(r)
+            output.update(part)
+        assert output == dict(collections.Counter(corpus.split()))

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_seed_flag(self):
+        args = build_parser().parse_args(["--seed", "9", "table1"])
+        assert args.seed == 9
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert (args.nodes, args.maps, args.reducers) == (20, 20, 5)
+        assert not args.mr
+
+
+class TestCommands:
+    def test_run_command(self, capsys):
+        assert main(["run", "--nodes", "6", "--maps", "6", "--reducers", "2",
+                     "--input-gb", "0.06"]) == 0
+        out = capsys.readouterr().out
+        assert "total" in out and "map" in out
+
+    def test_run_mr_command(self, capsys):
+        assert main(["run", "--mr", "--nodes", "6", "--maps", "6",
+                     "--reducers", "2", "--input-gb", "0.06"]) == 0
+        assert "total" in capsys.readouterr().out
+
+    def test_wordcount_command(self, capsys):
+        assert main(["wordcount", "--size-mb", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "verified against collections.Counter" in out
+
+    def test_fig4_command(self, capsys):
+        assert main(["fig4", "--width", "40"]) == 0
+        assert "Fig. 4" in capsys.readouterr().out
+
+    def test_nat_command(self, capsys):
+        assert main(["nat"]) == 0
+        out = capsys.readouterr().out
+        assert "full_ladder" in out
+
+    def test_churn_command(self, capsys):
+        assert main(["--seed", "3", "churn", "--mean-on", "1800",
+                     "--mean-off", "600", "--departures", "0.05"]) == 0
+        assert "transitions" in capsys.readouterr().out
+
+    def test_planetlab_command(self, capsys):
+        assert main(["planetlab"]) == 0
+        out = capsys.readouterr().out
+        assert "lan_mr" in out and "planetlab_mr" in out
+
+    def test_ablations_command(self, capsys):
+        assert main(["ablations"]) == 0
+        assert "report_immediately" in capsys.readouterr().out

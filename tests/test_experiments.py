@@ -1,0 +1,140 @@
+"""Integration tests for the experiment harness (small geometries)."""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_TABLE1,
+    Scenario,
+    Table1Row,
+    nat_scenario,
+    run_scenario,
+    scenario_for_row,
+)
+from repro.experiments.table1 import PaperCell, render, run_table1
+
+
+class TestScenario:
+    def small(self, **overrides):
+        defaults = dict(name="t", n_nodes=6, n_maps=6, n_reducers=2,
+                        input_size=60e6, seed=1)
+        defaults.update(overrides)
+        return Scenario(**defaults)
+
+    def test_run_produces_metrics(self):
+        result = run_scenario(self.small())
+        m = result.metrics
+        assert m.total > 0
+        assert m.map_stats.n_tasks == 12  # 6 WUs x replication 2
+        assert m.reduce_stats.n_tasks == 4
+        assert m.map_stats.mean_discard_slowest <= m.map_stats.mean + 1e-9
+
+    def test_mr_scenario_runs(self):
+        result = run_scenario(self.small(mr_clients=True))
+        assert result.job.finished
+
+    def test_deterministic_per_seed(self):
+        a = run_scenario(self.small(seed=5)).metrics.total
+        b = run_scenario(self.small(seed=5)).metrics.total
+        assert a == b
+
+    def test_fast_nodes_shorten_makespan(self):
+        slow = run_scenario(self.small(seed=3)).metrics
+        fast = run_scenario(self.small(seed=3, name="t2",
+                                       fast_node_fraction=1.0)).metrics
+        assert fast.map_stats.mean < slow.map_stats.mean
+
+    def test_nat_scenario_has_per_node_nats(self):
+        s = nat_scenario(seed=1)
+        assert s.nats is not None and len(s.nats) == s.n_nodes
+
+    def test_nats_length_validated(self):
+        with pytest.raises(ValueError):
+            self.small(nats=[None])
+
+
+class TestTable1Definitions:
+    def test_paper_rows_complete(self):
+        assert len(PAPER_TABLE1) == 9
+        assert sum(1 for r in PAPER_TABLE1 if r.mr) == 1
+
+    def test_paper_values_spotcheck(self):
+        r = PAPER_TABLE1[2]  # 15 nodes, 15 maps
+        assert (r.nodes, r.n_maps, r.n_reducers) == (15, 15, 3)
+        assert r.paper_map.mean == 747 and r.paper_map.discarded == 396
+
+    def test_scenario_for_row(self):
+        s = scenario_for_row(PAPER_TABLE1[0], seed=9)
+        assert (s.n_nodes, s.n_maps, s.n_reducers) == (10, 10, 2)
+        assert s.seed == 9 and not s.mr_clients
+
+    def test_cell_text(self):
+        assert PaperCell(700, 400).text() == "700 [400]"
+        assert PaperCell(383).text() == "383"
+
+    def test_run_and_render_one_small_row(self):
+        row = Table1Row(6, 6, 2, False, PaperCell(100), PaperCell(100),
+                        PaperCell(300))
+        records = run_table1([row], seed=1)
+        text = render(records)
+        assert "Table I" in text
+        assert "BOINC" in text
+        assert len(records) == 1
+        assert records[0].measured_total[0] > 0
+
+
+class TestFig4:
+    def test_fig4_straggler_reproduces(self):
+        from repro.experiments import run_fig4
+
+        result = run_fig4(base_seed=1, min_straggler_lag=120.0,
+                          max_seed_scans=10)
+        assert result.straggler_lag >= 120.0
+        # Straggler lag dominates the field (the Fig. 4 visual).
+        other = [t.report_lag for t in result.timelines
+                 if t.report_lag is not None
+                 and t.host != result.straggler_host]
+        assert result.straggler_lag > 2 * max(other)
+        chart = result.render()
+        assert "Fig. 4" in chart and "#" in chart
+
+    def test_fig4_reduce_starts_after_straggler_report(self):
+        from repro.experiments import run_fig4
+
+        result = run_fig4(base_seed=1)
+        last_map_report = max(t.reported_at for t in result.timelines)
+        assert result.reduce_start >= last_map_report
+
+
+class TestAblations:
+    def test_report_immediately_removes_lag(self):
+        from repro.experiments import ablate_report_immediately
+
+        out = ablate_report_immediately(seed=1)
+        assert out.mitigated_detail["mean_report_lag"] < \
+            out.baseline_detail["mean_report_lag"] / 5
+
+    def test_intermediate_downloads_shrink_transition(self):
+        from repro.experiments import ablate_intermediate_downloads
+
+        out = ablate_intermediate_downloads(seed=1)
+        assert out.mitigated_detail["transition_gap"] < \
+            out.baseline_detail["transition_gap"]
+        assert out.mitigated_total < out.baseline_total
+
+    def test_concurrent_jobs_remove_backoff_lag(self):
+        from repro.experiments import ablate_concurrent_jobs
+
+        out = ablate_concurrent_jobs(seed=1, n_jobs=2)
+        assert out.mitigated_detail["mean_report_lag"] < \
+            out.baseline_detail["mean_report_lag"] / 5
+
+
+class TestChurnExperiment:
+    def test_churn_outcome_fields(self):
+        from repro.experiments import run_churn
+
+        out = run_churn(seed=3, mean_on_s=1800.0, mean_off_s=600.0,
+                        departure_prob=0.05)
+        assert out.result.job.finished
+        assert out.transitions > 0
+        assert out.total > 0

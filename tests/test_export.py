@@ -1,0 +1,90 @@
+"""Tests for CSV/JSON export and utilisation timelines."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis import (
+    intervals_to_csv,
+    job_metrics,
+    metrics_to_dict,
+    metrics_to_json,
+    trace_to_csv,
+    utilisation_timeline,
+)
+from repro.sim import Tracer
+from tests.test_analysis import synth_trace
+
+
+class TestTraceCsv:
+    def test_roundtrip_columns(self):
+        text = trace_to_csv(synth_trace())
+        rows = list(csv.reader(io.StringIO(text)))
+        header = rows[0]
+        assert header[:2] == ["time", "kind"]
+        assert "host" in header
+        assert len(rows) == 1 + len(synth_trace().records)
+
+    def test_kind_filter(self):
+        text = trace_to_csv(synth_trace(), kinds=["task.ready"])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert len(rows) == 1 + 3
+        assert all(r[1] == "task.ready" for r in rows[1:])
+
+    def test_writes_to_stream(self):
+        buf = io.StringIO()
+        text = trace_to_csv(synth_trace(), out=buf)
+        assert buf.getvalue() == text
+
+    def test_empty_tracer(self):
+        text = trace_to_csv(Tracer())
+        assert text.splitlines() == ["time,kind"]
+
+
+class TestIntervalsCsv:
+    def test_rows_match_intervals(self):
+        text = intervals_to_csv(synth_trace(), "j")
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 3
+        by_result = {r["result_id"]: r for r in rows}
+        assert float(by_result["2"]["duration"]) == 400.0
+        assert by_result["2"]["host"] == "B"
+
+
+class TestMetricsJson:
+    def test_dict_shape(self):
+        d = metrics_to_dict(job_metrics(synth_trace(), "j"))
+        assert d["job"] == "j"
+        assert d["map"]["mean"] == pytest.approx(250.0)
+        assert d["reduce"]["n_tasks"] == 1
+        assert "transition_gap" in d
+
+    def test_json_parses(self):
+        text = metrics_to_json(job_metrics(synth_trace(), "j"))
+        assert json.loads(text)["total"] == 600.0
+
+
+class TestUtilisationTimeline:
+    def test_bucketing(self):
+        tr = Tracer()
+        for t in (0.0, 10.0, 35.0, 65.0):
+            tr.record(t, "sched.rpc", host="h")
+        buckets = utilisation_timeline(tr, bucket_s=30.0)
+        assert buckets == [(0.0, 2), (30.0, 1), (60.0, 1)]
+
+    def test_empty_buckets_included(self):
+        tr = Tracer()
+        tr.record(0.0, "sched.rpc")
+        tr.record(95.0, "sched.rpc")
+        buckets = utilisation_timeline(tr, bucket_s=30.0)
+        assert buckets[1] == (30.0, 0)
+        assert buckets[2] == (60.0, 0)
+
+    def test_empty_trace(self):
+        assert utilisation_timeline(Tracer()) == []
+
+    def test_invalid_bucket(self):
+        with pytest.raises(ValueError):
+            utilisation_timeline(Tracer(), bucket_s=0)

@@ -1,0 +1,149 @@
+"""Additional property-based tests: overlay balance, XML round-trips,
+peer-store invariants, corpus structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boinc.model import FileRef
+from repro.core import BoincMRConfig, MapReduceJobSpec, PeerStore
+from repro.core.xmlconfig import dump_jobtracker_xml, load_jobtracker_xml
+from repro.net import EMULAB_LINK, NatBox, NatType, Network, SupernodeOverlay
+from repro.sim import Simulator
+
+# ---------------------------------------------------------------------------
+# Supernode overlay invariants
+# ---------------------------------------------------------------------------
+
+population = st.lists(st.booleans(), min_size=2, max_size=25).filter(any)
+
+
+@given(population, st.integers(min_value=1, max_value=5),
+       st.integers(min_value=1, max_value=3))
+@settings(max_examples=50)
+def test_overlay_attachment_invariants(public_flags, n_supernodes, fanout):
+    net = Network(Simulator())
+    hosts = []
+    for i, is_public in enumerate(public_flags):
+        nat = None if is_public else NatBox(nat_type=NatType.SYMMETRIC)
+        hosts.append(net.add_host(f"h{i:02d}", EMULAB_LINK, nat=nat))
+    overlay = SupernodeOverlay(hosts, n_supernodes=n_supernodes, fanout=fanout)
+    # 1. Every supernode is publicly reachable.
+    for sn in overlay.supernodes:
+        assert sn.nat is None or sn.nat.accepts_inbound()
+    # 2. Every host resolves to >= 1 supernode, and relays always resolve.
+    for h in hosts:
+        assert overlay.supernodes_of(h)
+        relay = overlay.pick_relay(h, hosts[0])
+        assert relay in overlay.supernodes
+    # 3. Attachment load is balanced within one unit.
+    counts = overlay.attachment_counts().values()
+    assert max(counts) - min(counts) <= 1
+
+
+# ---------------------------------------------------------------------------
+# mr_jobtracker.xml round trip
+# ---------------------------------------------------------------------------
+
+config_strategy = st.builds(
+    BoincMRConfig,
+    reduce_from_peers=st.booleans(),
+    upload_map_outputs=st.just(True),
+    serve_timeout_s=st.floats(min_value=1.0, max_value=1e6),
+    peer_retries=st.integers(min_value=0, max_value=9),
+    peer_failure_rate=st.floats(min_value=0.0, max_value=1.0),
+    reduce_creation_fraction=st.floats(min_value=0.01, max_value=1.0),
+)
+
+spec_strategy = st.builds(
+    MapReduceJobSpec,
+    name=st.text(alphabet="abcdefgh", min_size=1, max_size=10),
+    n_maps=st.integers(min_value=1, max_value=100),
+    n_reducers=st.integers(min_value=1, max_value=20),
+    input_size=st.floats(min_value=1.0, max_value=1e10),
+    replication=st.just(2),
+    quorum=st.just(2),
+)
+
+
+@given(config_strategy, st.lists(spec_strategy, max_size=3))
+@settings(max_examples=50)
+def test_xml_round_trip(config, specs):
+    # unique job names required by nothing in the XML layer, but keep sane
+    text = dump_jobtracker_xml(config, specs)
+    config2, specs2 = load_jobtracker_xml(text)
+    assert config2.reduce_from_peers == config.reduce_from_peers
+    assert config2.peer_retries == config.peer_retries
+    assert config2.serve_timeout_s == pytest.approx(config.serve_timeout_s)
+    assert config2.reduce_creation_fraction == pytest.approx(
+        config.reduce_creation_fraction)
+    assert len(specs2) == len(specs)
+    for a, b in zip(specs, specs2):
+        assert (a.name, a.n_maps, a.n_reducers) == (b.name, b.n_maps,
+                                                    b.n_reducers)
+        assert b.input_size == pytest.approx(a.input_size)
+
+
+# ---------------------------------------------------------------------------
+# Peer store invariants under arbitrary operation sequences
+# ---------------------------------------------------------------------------
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["serve", "get", "renew", "stop", "advance"]),
+              st.integers(min_value=0, max_value=4),
+              st.floats(min_value=0.0, max_value=200.0)),
+    max_size=60,
+)
+
+
+@given(ops)
+@settings(max_examples=60)
+def test_peer_store_never_serves_expired(operations):
+    sim = Simulator()
+    store = PeerStore(sim, serve_timeout_s=100.0)
+    served_at: dict[str, float] = {}
+    for op, idx, amount in operations:
+        name = f"f{idx}"
+        if op == "serve":
+            store.serve(FileRef(name, 1.0), job="j")
+            served_at[name] = sim.now
+        elif op == "get":
+            try:
+                store.get(name)
+                # Success implies within the window of its last serve/renew.
+                assert store.available(name)
+            except KeyError:
+                assert not store.available(name)
+        elif op == "renew":
+            renewed = store.renew(name)
+            assert renewed == (name in store._files)
+            if renewed:
+                served_at[name] = sim.now
+        elif op == "stop":
+            store.stop_job("j")
+            served_at.clear()
+        elif op == "advance":
+            sim.schedule(amount, lambda: None)
+            sim.run()
+    for name, t in served_at.items():
+        expected = sim.now <= t + 100.0
+        assert store.available(name) == expected
+
+
+# ---------------------------------------------------------------------------
+# Corpus generator structure
+# ---------------------------------------------------------------------------
+
+@given(st.integers(min_value=100, max_value=30_000),
+       st.integers(min_value=1, max_value=500),
+       st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25)
+def test_corpus_structure(target, vocab, seed):
+    from repro.workloads import generate_corpus
+
+    corpus = generate_corpus(target, vocabulary_size=vocab, seed=seed)
+    assert len(corpus) >= target
+    assert corpus.endswith(b"\n")
+    words = set(corpus.split())
+    assert 0 < len(words) <= vocab

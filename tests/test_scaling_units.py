@@ -1,0 +1,38 @@
+"""Unit tests for the scaling sweep helpers."""
+
+import pytest
+
+from repro.experiments import granularity_scaling, node_scaling, speedup
+
+
+class TestGranularity:
+    @pytest.fixture(scope="class")
+    def points(self):
+        # Small cluster/input so the sweep stays fast.
+        return granularity_scaling(map_counts=(4, 8, 16), seed=1,
+                                   n_nodes=8, input_size=160e6)
+
+    def test_every_point_completes(self, points):
+        assert len(points) == 3
+        for p in points:
+            assert p.total > 0
+            assert p.result.job.finished
+
+    def test_map_mean_shrinks_with_granularity(self, points):
+        means = [p.map_mean for p in points]
+        # Smaller chunks -> shorter per-task intervals (the dominant term).
+        assert means[-1] < means[0]
+
+    def test_x_axis_recorded(self, points):
+        assert [p.x for p in points] == [4, 8, 16]
+
+
+class TestSpeedupHelper:
+    def test_empty(self):
+        assert speedup([]) == []
+
+    def test_relative_to_first(self):
+        pts = node_scaling((5, 10), seed=2, input_size=200e6)
+        s = dict(speedup(pts))
+        assert s[5] == pytest.approx(1.0)
+        assert s[10] > 0

@@ -1,0 +1,114 @@
+"""Tests for availability-trace replay."""
+
+import numpy as np
+import pytest
+
+from repro.boinc.server import ServerConfig
+from repro.core import BoincMRConfig, JobPhase, MapReduceJobSpec, VolunteerCloud
+from repro.volunteers.traces import (
+    AvailabilityTrace,
+    TraceChurnController,
+    diurnal_trace,
+    load_traces_csv,
+)
+
+
+class TestAvailabilityTrace:
+    def test_valid(self):
+        tr = AvailabilityTrace("h", ((0.0, 10.0), (20.0, 30.0)))
+        assert tr.available_at(5.0)
+        assert not tr.available_at(15.0)
+        assert not tr.available_at(10.0)  # half-open
+        assert tr.total_available == 20.0
+
+    def test_availability_fraction(self):
+        tr = AvailabilityTrace("h", ((0.0, 10.0), (20.0, 30.0)))
+        assert tr.availability_fraction(40.0) == pytest.approx(0.5)
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError, match="overlapping"):
+            AvailabilityTrace("h", ((0.0, 10.0), (5.0, 20.0)))
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            AvailabilityTrace("h", ((5.0, 5.0),))
+
+
+class TestCsvLoading:
+    def test_parse(self):
+        traces = load_traces_csv(
+            "host,start,end\nA,0,100\nA,200,300\nB,50,80\n")
+        assert set(traces) == {"A", "B"}
+        assert traces["A"].intervals == ((0.0, 100.0), (200.0, 300.0))
+
+    def test_unsorted_rows_sorted(self):
+        traces = load_traces_csv("A,200,300\nA,0,100\n")
+        assert traces["A"].intervals[0] == (0.0, 100.0)
+
+    def test_bad_row_rejected(self):
+        with pytest.raises(ValueError, match="host,start,end"):
+            load_traces_csv("A,1\n")
+
+
+class TestDiurnal:
+    def test_one_interval_per_day(self):
+        rng = np.random.default_rng(0)
+        tr = diurnal_trace("h", days=14, rng=rng)
+        assert len(tr.intervals) == 14
+
+    def test_weekends_longer(self):
+        rng = np.random.default_rng(0)
+        tr = diurnal_trace("h", days=14, rng=rng, jitter_h=0.0)
+        lengths = [e - s for s, e in tr.intervals]
+        weekday = lengths[0]
+        weekend = lengths[5]
+        assert weekend > weekday
+
+    def test_deterministic(self):
+        a = diurnal_trace("h", 7, rng=np.random.default_rng(3))
+        b = diurnal_trace("h", 7, rng=np.random.default_rng(3))
+        assert a.intervals == b.intervals
+
+    def test_invalid_days(self):
+        with pytest.raises(ValueError):
+            diurnal_trace("h", 0, rng=np.random.default_rng(0))
+
+
+class TestTraceReplay:
+    def test_client_goes_down_and_up_per_trace(self):
+        cloud = VolunteerCloud(seed=1,
+                               mr_config=BoincMRConfig(upload_map_outputs=True),
+                               server_config=ServerConfig(delay_bound_s=600.0))
+        clients = cloud.add_volunteers(6, mr=True)
+        cloud.start()
+        controller = TraceChurnController(cloud.sim, tracer=cloud.tracer)
+        # First client offline during [100, 400).
+        controller.manage(clients[0], AvailabilityTrace(
+            clients[0].name, ((0.0, 100.0), (400.0, 1e6))))
+        cloud.sim.run(until=500.0)
+        off = cloud.tracer.times("churn.offline", host=clients[0].name)
+        on = cloud.tracer.times("churn.online", host=clients[0].name)
+        assert off and off[0] == pytest.approx(100.0)
+        assert on and on[0] == pytest.approx(400.0)
+
+    def test_job_completes_under_trace_churn(self):
+        cloud = VolunteerCloud(seed=4,
+                               mr_config=BoincMRConfig(upload_map_outputs=True),
+                               server_config=ServerConfig(delay_bound_s=900.0))
+        clients = cloud.add_volunteers(10, mr=True)
+        cloud.start()
+        controller = TraceChurnController(cloud.sim, tracer=cloud.tracer)
+        for i, client in enumerate(clients[:5]):
+            # Staggered early outages across half the cluster.
+            start = 60.0 + 60.0 * i
+            controller.manage(client, AvailabilityTrace(
+                client.name, ((0.0, start), (start + 300.0, 1e7))))
+        job = cloud.run_job(MapReduceJobSpec(
+            "traced", n_maps=8, n_reducers=2, input_size=80e6),
+            timeout=24 * 3600)
+        assert job.phase is JobPhase.DONE
+        # The sim stops at job completion; every outage scheduled before
+        # that must have fired and been survived.
+        offline = cloud.tracer.times("churn.offline")
+        assert offline and all(t < job.finished_at for t in offline)
+        assert len(offline) >= 3

@@ -1,0 +1,86 @@
+"""Unit tests for corpus generation."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.workloads import generate_corpus, make_vocabulary, tag_documents, zipf_weights
+
+
+class TestVocabulary:
+    def test_size_and_uniqueness(self):
+        vocab = make_vocabulary(500, np.random.default_rng(0))
+        assert len(vocab) == 500
+        assert len(set(vocab)) == 500
+
+    def test_deterministic(self):
+        a = make_vocabulary(100, np.random.default_rng(1))
+        b = make_vocabulary(100, np.random.default_rng(1))
+        assert a == b
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            make_vocabulary(0, np.random.default_rng(0))
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        w = zipf_weights(100)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        w = zipf_weights(50, s=1.2)
+        assert all(w[i] >= w[i + 1] for i in range(49))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, s=0)
+
+
+class TestCorpus:
+    def test_size_close_to_target(self):
+        corpus = generate_corpus(50_000, seed=0)
+        assert 50_000 <= len(corpus) <= 50_000 + 200
+
+    def test_deterministic(self):
+        assert generate_corpus(10_000, seed=4) == generate_corpus(10_000, seed=4)
+
+    def test_seeds_differ(self):
+        assert generate_corpus(10_000, seed=1) != generate_corpus(10_000, seed=2)
+
+    def test_line_structure(self):
+        corpus = generate_corpus(20_000, words_per_line=8, seed=0)
+        lines = corpus.splitlines()
+        assert all(len(line.split()) == 8 for line in lines)
+        assert corpus.endswith(b"\n")
+
+    def test_zipf_skew_visible(self):
+        corpus = generate_corpus(200_000, vocabulary_size=1000, seed=0)
+        counts = collections.Counter(corpus.split()).most_common()
+        top_share = sum(c for _w, c in counts[:10]) / sum(c for _w, c in counts)
+        assert top_share > 0.2  # heavy head, as in natural language
+
+    def test_vocabulary_respected(self):
+        corpus = generate_corpus(30_000, vocabulary_size=50, seed=0)
+        assert len(set(corpus.split())) <= 50
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            generate_corpus(0)
+
+
+class TestTagDocuments:
+    def test_tab_separated(self):
+        tagged = tag_documents(b"a b\nc d\ne f\ng h\n", n_docs=2)
+        lines = tagged.splitlines()
+        assert len(lines) == 4
+        assert all(b"\t" in line for line in lines)
+        docs = {line.split(b"\t")[0] for line in lines}
+        assert len(docs) == 2
+
+    def test_invalid_docs(self):
+        with pytest.raises(ValueError):
+            tag_documents(b"x\n", 0)
