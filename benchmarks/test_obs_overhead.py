@@ -1,0 +1,76 @@
+"""Observability overhead: tracing + metrics + spans vs. a bare run.
+
+The obs layer must be cheap enough to leave on by default. We time the
+same seeded workload twice — once with the tracer dropping every record
+and no observability attached, once with the full stack (tracer, span
+builder, probes, sampler) — and assert the overhead stays under 15%.
+
+Also emits ``BENCH_obs.json`` (counts, wall times, overhead ratio, and a
+metrics snapshot) to start the perf trajectory for the obs subsystem.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro.core import BoincMRConfig, MapReduceJobSpec, VolunteerCloud
+from repro.sim import Tracer
+
+NODES, MAPS, REDUCERS, INPUT = 20, 20, 5, 1e9
+REPEATS = 3
+MAX_OVERHEAD = 0.15
+BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+
+def _build(observed: bool) -> VolunteerCloud:
+    tracer = None if observed else Tracer(keep=lambda kind: False)
+    cloud = VolunteerCloud(seed=11, mr_config=BoincMRConfig(), tracer=tracer)
+    cloud.add_volunteers(NODES, mr=True)
+    if observed:
+        cloud.attach_observability(spans=True, probes=True)
+    return cloud
+
+def _run(observed: bool) -> tuple[float, VolunteerCloud]:
+    """Best-of-N wall time for one full workload; returns the last cloud."""
+    best = float("inf")
+    cloud = None
+    for _ in range(REPEATS):
+        cloud = _build(observed)
+        t0 = time.perf_counter()
+        cloud.run_job(MapReduceJobSpec("wc", n_maps=MAPS, n_reducers=REDUCERS,
+                                       input_size=INPUT))
+        best = min(best, time.perf_counter() - t0)
+    if observed:
+        cloud.finish_observability()
+    return best, cloud
+
+
+def test_obs_overhead_under_budget(run_once, benchmark):
+    bare_s, _bare = run_once(benchmark, _run, False)
+    obs_s, cloud = _run(True)
+    overhead = obs_s / bare_s - 1.0
+
+    builder = cloud.span_builder
+    payload = {
+        "scenario": {"nodes": NODES, "maps": MAPS, "reducers": REDUCERS,
+                     "input_bytes": INPUT, "seed": 11, "repeats": REPEATS},
+        "bare_wall_s": bare_s,
+        "observed_wall_s": obs_s,
+        "overhead": overhead,
+        "trace_records": len(cloud.tracer),
+        "spans": len(builder.spans),
+        "leaked_spans": len(builder.leaked),
+        "metrics": cloud.metrics.snapshot(),
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                          encoding="utf-8")
+    print(f"\nbare {bare_s * 1e3:.1f} ms  observed {obs_s * 1e3:.1f} ms  "
+          f"overhead {overhead * 100:+.1f}%  "
+          f"({payload['trace_records']} records, {payload['spans']} spans)")
+
+    assert len(builder.spans) > 0 and len(cloud.tracer) > 0
+    assert overhead < MAX_OVERHEAD, (
+        f"observability overhead {overhead * 100:.1f}% exceeds "
+        f"{MAX_OVERHEAD * 100:.0f}% budget")

@@ -10,11 +10,15 @@ from .makespan import (
     task_intervals,
 )
 from .export import (
+    chrome_trace_json,
     intervals_to_csv,
     metrics_to_dict,
     metrics_to_json,
+    run_summary,
     trace_to_csv,
+    trace_to_jsonl,
     utilisation_timeline,
+    write_chrome_trace,
 )
 from .stats import Summary, improvement, percentile, straggler_index, summarise
 from .tables import format_cell, render_series, render_table, render_timeline
@@ -32,6 +36,10 @@ __all__ = [
     "render_timeline",
     "render_series",
     "trace_to_csv",
+    "trace_to_jsonl",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "run_summary",
     "intervals_to_csv",
     "metrics_to_dict",
     "metrics_to_json",

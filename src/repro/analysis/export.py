@@ -12,6 +12,12 @@ import io
 import json
 import typing as _t
 
+from ..obs.export import (  # noqa: F401 - analysis is the exporters' home too
+    chrome_trace_json,
+    run_summary,
+    trace_to_jsonl,
+    write_chrome_trace,
+)
 from ..sim import Tracer
 from .makespan import JobMetrics, task_intervals
 
@@ -28,13 +34,17 @@ def trace_to_csv(tracer: Tracer, kinds: _t.Sequence[str] | None = None,
     field_names: set[str] = set()
     for rec in records:
         field_names.update(rec.fields)
-    columns = ["time", "kind", *sorted(field_names)]
+    fields = sorted(field_names)
+    # A payload field may shadow the two record columns (e.g. sched.assign
+    # carries kind="map"); keep both under distinct headers.
+    header = ["time", "kind",
+              *(f"field.{k}" if k in ("time", "kind") else k for k in fields)]
     buf = io.StringIO()
     writer = csv.writer(buf)
-    writer.writerow(columns)
+    writer.writerow(header)
     for rec in records:
         writer.writerow([rec.time, rec.kind]
-                        + [rec.get(k, "") for k in columns[2:]])
+                        + [rec.get(k, "") for k in fields])
     text = buf.getvalue()
     if out is not None:
         out.write(text)

@@ -187,6 +187,8 @@ class Client:
         self._main_proc: Process | None = None
         self._task_procs: list[Process] = []
         self._stopped = False
+        #: Shared metrics registry (the server's, when it has one).
+        self.metrics = server.metrics
         #: Diagnostics.
         self.rpcs = 0
         self.backoffs = 0
@@ -260,11 +262,16 @@ class Client:
             reports=reports,
         )
         self.rpcs += 1
+        self.tracer.record(self.sim.now, "client.rpc_start", host=self.name,
+                           work_req=work_req, n_reports=len(reports))
         rtt = self.net.rtt(self.host, self.server.host)
         if rtt > 0:
             yield self.sim.timeout(rtt)
         reply = yield self.sim.process(
             self.server.scheduler_rpc(request), name=f"rpc:{self.name}")
+        self.tracer.record(self.sim.now, "client.rpc_done", host=self.name,
+                           n_assignments=len(reply.assignments),
+                           no_work=reply.no_work)
         for task in reporting:
             task.state = TaskState.REPORTED
         for assignment in reply.assignments:
@@ -276,6 +283,8 @@ class Client:
         if want_work and reply.no_work:
             self._backoff_count += 1
             self.backoffs += 1
+            if self.metrics is not None:
+                self.metrics.counter("client.backoff_total").inc()
             delay = self._backoff_delay()
             self._next_allowed_rpc = self.sim.now + delay
             self.tracer.record(self.sim.now, "client.backoff", host=self.name,
@@ -303,6 +312,7 @@ class Client:
     # -- task lifecycle ------------------------------------------------------------
     def _run_task(self, task: ClientTask) -> _t.Generator:
         wu = task.assignment.wu
+        fetched_at = self.sim.now
         try:
             task.state = TaskState.DOWNLOADING
             self.tracer.record(self.sim.now, "task.download_start",
@@ -334,6 +344,14 @@ class Client:
             self._ready.append(task)
             self.tracer.record(self.sim.now, "task.ready", host=self.name,
                                result=task.assignment.result_id, wu=wu.id)
+            if self.metrics is not None:
+                self.metrics.counter("client.tasks_completed_total").inc()
+                self.metrics.histogram("client.task_turnaround_s").observe(
+                    self.sim.now - fetched_at)
+                if task.started_compute_at is not None:
+                    self.metrics.histogram("client.task_compute_s").observe(
+                        (task.finished_compute_at or self.sim.now)
+                        - task.started_compute_at)
             self._notify()
         except Interrupted:
             task.state = TaskState.FAILED
@@ -342,6 +360,8 @@ class Client:
             task.state = TaskState.FAILED
             task.error = str(exc)
             self._ready.append(task)
+            if self.metrics is not None:
+                self.metrics.counter("client.tasks_failed_total").inc()
             self.tracer.record(self.sim.now, "task.failed", host=self.name,
                                result=task.assignment.result_id, error=str(exc))
             self._notify()

@@ -23,6 +23,9 @@ import typing as _t
 
 from ..net import Host, Network, SimSemaphore
 from ..sim import Simulator, Tracer, jittered
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..obs.metrics import MetricsRegistry
 from .dataserver import DataServer
 from .model import (
     Database,
@@ -140,7 +143,8 @@ class ProjectServer:
     def __init__(self, sim: Simulator, net: Network, host: Host,
                  config: ServerConfig | None = None,
                  tracer: Tracer | None = None,
-                 rng=None) -> None:
+                 rng=None,
+                 metrics: "MetricsRegistry | None" = None) -> None:
         self.sim = sim
         self.net = net
         self.host = host
@@ -148,6 +152,9 @@ class ProjectServer:
         # Explicit None check: an empty Tracer is falsy (it has __len__).
         self.tracer = tracer if tracer is not None else Tracer()
         self.rng = rng
+        #: Optional :class:`repro.obs.MetricsRegistry`; when present the
+        #: scheduler and daemons keep BOINC server-status style counters.
+        self.metrics = metrics
         self.db = Database()
         self.dataserver = DataServer(sim, net, host, tracer=self.tracer)
         self._rpc_slots = SimSemaphore(sim, self.config.rpc_capacity, name="sched")
@@ -203,6 +210,8 @@ class ProjectServer:
             for ref in wu.input_files:
                 self.dataserver.publish(ref)
         self._dirty_wus.add(wu.id)
+        if self.metrics is not None:
+            self.metrics.counter("server.workunits_submitted_total").inc()
         self.tracer.record(self.sim.now, "server.wu_submitted", wu=wu.id,
                            job=wu.mr_job, kind=wu.mr_kind, index=wu.mr_index)
         return wu
@@ -243,6 +252,16 @@ class ProjectServer:
         if request.work_req_s > 0:
             assignments = self._assign_work(host, request.work_req_s)
             no_work = not assignments
+        if self.metrics is not None:
+            self.metrics.counter("sched.rpc_total").inc()
+            if request.reports:
+                self.metrics.counter("sched.reports_total").inc(
+                    len(request.reports))
+            if assignments:
+                self.metrics.counter("sched.assignments_total").inc(
+                    len(assignments))
+            if no_work:
+                self.metrics.counter("sched.no_work_total").inc()
         return SchedulerReply(assignments=assignments,
                               request_delay_s=self.config.request_delay_s,
                               no_work=no_work)
@@ -263,6 +282,9 @@ class ProjectServer:
                 # is available (hash-only reporting in BOINC-MR).
                 res.received_at = self.sim.now
         self._dirty_wus.add(res.wu_id)
+        if self.metrics is not None and res.sent_at is not None:
+            self.metrics.histogram("sched.result_turnaround_s").observe(
+                self.sim.now - res.sent_at)
         wu = self.db.workunits[res.wu_id]
         self.tracer.record(self.sim.now, "sched.report", host=host.name,
                            result=res.id, wu=res.wu_id, success=report.success,
@@ -365,6 +387,9 @@ class ProjectServer:
                 res.state = ResultState.OVER
                 res.outcome = ResultOutcome.NO_REPLY
                 self._dirty_wus.add(res.wu_id)
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "daemon.transitioner.timeouts_total").inc()
                 self.tracer.record(now, "transitioner.timeout", result=res.id,
                                    wu=res.wu_id)
         if self.config.speculative_execution:
@@ -484,6 +509,10 @@ class ProjectServer:
                 r.state = ResultState.OVER
                 r.outcome = ResultOutcome.NO_REPLY
                 self.db._unsent.pop(r.id, None)
+        if self.metrics is not None:
+            self.metrics.counter("daemon.validator.validated_total").inc()
+            self.metrics.histogram("daemon.validator.wu_latency_s").observe(
+                self.sim.now - wu.created_at)
         self.tracer.record(self.sim.now, "validator.validated", wu=wu.id,
                            canonical=canonical.id, job=wu.mr_job,
                            kind=wu.mr_kind, index=wu.mr_index)
@@ -524,6 +553,9 @@ class ProjectServer:
                     self.assimilate_handler(wu, canonical)
                 wu.state = WorkunitState.ASSIMILATED
                 wu.assimilated_at = self.sim.now
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "daemon.assimilator.assimilated_total").inc()
                 self.tracer.record(self.sim.now, "assimilator.done", wu=wu.id,
                                    job=wu.mr_job, kind=wu.mr_kind,
                                    index=wu.mr_index)

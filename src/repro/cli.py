@@ -71,14 +71,17 @@ def _cmd_planetlab(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from .analysis import job_metrics
+    from .analysis import job_metrics, trace_to_csv
     from .core import BoincMRConfig, MapReduceJobSpec, VolunteerCloud
+    from .obs import chrome_trace_json, trace_to_jsonl
 
     mr_config = (BoincMRConfig() if args.mr
                  else BoincMRConfig(upload_map_outputs=True,
                                     reduce_from_peers=False))
     cloud = VolunteerCloud(seed=args.seed, mr_config=mr_config)
     cloud.add_volunteers(args.nodes, mr=args.mr)
+    if args.trace_out:
+        cloud.attach_observability(spans=True, probes=False)
     job = cloud.run_job(MapReduceJobSpec(
         "job", n_maps=args.maps, n_reducers=args.reducers,
         input_size=args.input_gb * 1e9))
@@ -86,6 +89,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"map {m.map_stats.mean:.1f}s [{m.map_stats.mean_discard_slowest:.1f}s]"
           f"  reduce {m.reduce_stats.mean:.1f}s"
           f"  total {m.total:.1f}s  transition gap {m.transition_gap:.1f}s")
+    if args.trace_out:
+        builder = cloud.finish_observability()
+        if args.trace_format == "chrome":
+            text = chrome_trace_json(builder)
+        elif args.trace_format == "jsonl":
+            text = trace_to_jsonl(cloud.tracer)
+        else:
+            text = trace_to_csv(cloud.tracer)
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        leaked = len(builder.leaked) if builder is not None else 0
+        print(f"wrote {args.trace_format} trace to {args.trace_out} "
+              f"({len(cloud.tracer)} records, {leaked} leaked spans)")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .core import BoincMRConfig, MapReduceJobSpec, VolunteerCloud
+    from .obs import run_summary
+
+    cloud = VolunteerCloud(seed=args.seed, mr_config=BoincMRConfig())
+    cloud.add_volunteers(args.nodes, mr=True)
+    cloud.attach_observability(spans=True, probes=True,
+                               sample_period_s=args.sample_period,
+                               profile=True)
+    cloud.run_job(MapReduceJobSpec(
+        "wordcount", n_maps=args.maps, n_reducers=args.reducers,
+        input_size=args.input_gb * 1e9))
+    cloud.finish_observability()
+    print(run_summary(cloud.tracer, metrics=cloud.metrics,
+                      builder=cloud.span_builder, profiler=cloud.profiler))
     return 0
 
 
@@ -138,6 +172,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--input-gb", type=float, default=1.0)
     p.add_argument("--mr", action="store_true",
                    help="use BOINC-MR clients (default: original BOINC)")
+    p.add_argument("--trace-out", metavar="FILE", default=None,
+                   help="write the run's trace to FILE")
+    p.add_argument("--trace-format", choices=("chrome", "jsonl", "csv"),
+                   default="chrome",
+                   help="chrome = Perfetto/chrome://tracing timeline "
+                        "(default), jsonl = raw records, csv = flat table")
+
+    p = sub.add_parser(
+        "metrics",
+        help="word-count run with the full observability stack, then the "
+             "metrics/self-profile summary")
+    p.add_argument("--nodes", type=int, default=20)
+    p.add_argument("--maps", type=int, default=20)
+    p.add_argument("--reducers", type=int, default=5)
+    p.add_argument("--input-gb", type=float, default=1.0)
+    p.add_argument("--sample-period", type=float, default=30.0,
+                   help="gauge sampling cadence in sim seconds")
 
     p = sub.add_parser("wordcount", help="run REAL word count on real bytes")
     p.add_argument("--size-mb", type=float, default=2.0)
@@ -155,6 +206,7 @@ _COMMANDS: dict[str, _t.Callable[[argparse.Namespace], int]] = {
     "churn": _cmd_churn,
     "planetlab": _cmd_planetlab,
     "run": _cmd_run,
+    "metrics": _cmd_metrics,
     "wordcount": _cmd_wordcount,
 }
 

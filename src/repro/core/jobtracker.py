@@ -30,6 +30,7 @@ class JobTracker:
         self.server = server
         self.config = config or BoincMRConfig()
         self.tracer = tracer if tracer is not None else server.tracer
+        self.metrics = server.metrics
         self.jobs: dict[str, MapReduceJob] = {}
         server.assimilate_handler = self._on_assimilated
         server.locate_reduce_inputs = self.locate_reduce_inputs
@@ -59,6 +60,8 @@ class JobTracker:
             )
             self.server.submit_workunit(wu, publish_inputs=True)
             job.map_wu_ids[i] = wu.id
+        if self.metrics is not None:
+            self.metrics.counter("jobtracker.jobs_submitted_total").inc()
         self.tracer.record(self.sim.now, "jobtracker.submitted", job=spec.name,
                            n_maps=spec.n_maps, n_reducers=spec.n_reducers)
         return job
@@ -76,6 +79,8 @@ class JobTracker:
                 if h.supports_mr
             ]
             job.record_map_validated(wu.mr_index, wu.id, holders, self.sim.now)
+            if self.metrics is not None:
+                self.metrics.counter("jobtracker.maps_validated_total").inc()
             self.tracer.record(self.sim.now, "jobtracker.map_done",
                                job=job.spec.name, index=wu.mr_index,
                                holders=len(holders))
@@ -85,9 +90,15 @@ class JobTracker:
                 self._create_reduce_wus(job)
         elif wu.mr_kind == "reduce":
             job.record_reduce_validated(wu.mr_index, self.sim.now)
+            if self.metrics is not None:
+                self.metrics.counter("jobtracker.reduces_validated_total").inc()
             self.tracer.record(self.sim.now, "jobtracker.reduce_done",
                                job=job.spec.name, index=wu.mr_index)
             if job.phase is JobPhase.DONE:
+                if self.metrics is not None:
+                    self.metrics.counter("jobtracker.jobs_done_total").inc()
+                    self.metrics.histogram("jobtracker.job_makespan_s").observe(
+                        job.makespan())
                 self.tracer.record(self.sim.now, "jobtracker.job_done",
                                    job=job.spec.name,
                                    makespan=job.makespan())

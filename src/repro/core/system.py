@@ -27,6 +27,8 @@ from ..net import (
     Network,
     TraversalConfig,
 )
+from ..obs import MetricsRegistry, Sampler, SelfProfiler, SpanBuilder
+from ..obs import attach_standard_probes
 from ..sim import Event, RngRegistry, SimulationError, Simulator, Tracer
 from .config import BoincMRConfig
 from .executor import MapReduceExecutor
@@ -45,15 +47,19 @@ class VolunteerCloud:
                  client_config: ClientConfig | None = None,
                  traversal_config: TraversalConfig | None = None,
                  server_link: LinkSpec = EMULAB_LINK,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.sim = Simulator()
         self.rngs = RngRegistry(seed)
         self.tracer = tracer if tracer is not None else Tracer()
-        self.net = Network(self.sim, tracer=None)  # flow traces are noisy
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.net = Network(self.sim, tracer=None,  # flow traces are noisy
+                           metrics=self.metrics)
         self.server_host = self.net.add_host("server", server_link)
         self.server = ProjectServer(self.sim, self.net, self.server_host,
                                     config=server_config, tracer=self.tracer,
-                                    rng=self.rngs.stream("server"))
+                                    rng=self.rngs.stream("server"),
+                                    metrics=self.metrics)
         self.mr_config = mr_config or BoincMRConfig()
         self.client_config = client_config or ClientConfig()
         self.jobtracker = JobTracker(self.sim, self.server,
@@ -65,6 +71,10 @@ class VolunteerCloud:
             rng=self.rngs.stream("nat"))
         self.clients: list[Client] = []
         self._started = False
+        #: Observability attachments (populated by attach_observability).
+        self.span_builder: SpanBuilder | None = None
+        self.sampler: Sampler | None = None
+        self.profiler: SelfProfiler | None = None
 
     # -- population ------------------------------------------------------------
     def add_volunteer(self, name: str | None = None, *, flops: float = 1.0,
@@ -127,6 +137,34 @@ class VolunteerCloud:
                 fetcher.relay_selector = overlay.pick_relay
         self.overlay = overlay
         return overlay
+
+    # -- observability -----------------------------------------------------------
+    def attach_observability(self, spans: bool = True, probes: bool = True,
+                             sample_period_s: float = 30.0,
+                             profile: bool = False) -> None:
+        """Wire the full observability stack onto this deployment.
+
+        Call before the first job: *spans* folds the trace into per-result
+        timelines (export with :func:`repro.obs.chrome_trace_json`),
+        *probes* registers the standard queue-depth gauges and starts a
+        :class:`Sampler` over them, and *profile* hooks the wall-clock
+        :class:`SelfProfiler` onto the event loop.  Idempotent.
+        """
+        if spans and self.span_builder is None:
+            self.span_builder = SpanBuilder(self.tracer)
+        if probes:
+            attach_standard_probes(self)
+            if self.sampler is None:
+                self.sampler = Sampler(self.sim, self.metrics,
+                                       period_s=sample_period_s)
+        if profile and self.profiler is None:
+            self.profiler = SelfProfiler(self.sim)
+
+    def finish_observability(self) -> SpanBuilder | None:
+        """Close leaked spans at the current sim time; returns the builder."""
+        if self.span_builder is not None:
+            self.span_builder.finish(self.sim.now)
+        return self.span_builder
 
     # -- jobs --------------------------------------------------------------------
     def submit(self, spec: MapReduceJobSpec) -> MapReduceJob:

@@ -24,6 +24,9 @@ import typing as _t
 
 from ..sim import PRIORITY_HIGH, Event, Simulator, Tracer
 
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..obs.metrics import MetricsRegistry
+
 #: Flows with fewer remaining bytes than this are considered complete
 #: (coarser than float error accumulated across rate recomputations, finer
 #: than the 1-byte granularity of real transfers).
@@ -163,9 +166,13 @@ def maxmin_rates(flows: _t.Sequence[Flow]) -> dict[Flow, float]:
 class FlowNetwork:
     """Tracks active flows and keeps their rates max–min fair over time."""
 
-    def __init__(self, sim: Simulator, tracer: Tracer | None = None) -> None:
+    def __init__(self, sim: Simulator, tracer: Tracer | None = None,
+                 metrics: "MetricsRegistry | None" = None) -> None:
         self.sim = sim
         self.tracer = tracer
+        #: Optional :class:`repro.obs.MetricsRegistry` for flow counters
+        #: and duration/size histograms.
+        self.metrics = metrics
         self.active: list[Flow] = []
         self._version = 0
         self._last_update = sim.now
@@ -202,6 +209,8 @@ class FlowNetwork:
         flow.rate = 0.0
         flow.finished_at = self.sim.now
         self.flows_aborted += 1
+        if self.metrics is not None:
+            self.metrics.counter("net.flows_aborted_total").inc()
         if self.tracer is not None:
             self.tracer.record(self.sim.now, "flow.abort", flow=flow.name,
                                reason=reason, transferred=flow.size - flow.remaining)
@@ -289,6 +298,11 @@ class FlowNetwork:
             f.finished_at = self.sim.now
             self.bytes_delivered += f.size
             self.flows_completed += 1
+            if self.metrics is not None:
+                self.metrics.counter("net.flows_completed_total").inc()
+                self.metrics.counter("net.bytes_delivered_total").inc(f.size)
+                self.metrics.histogram("net.flow_duration_s").observe(
+                    self.sim.now - f.started_at)
             if self.tracer is not None:
                 self.tracer.record(self.sim.now, "flow.done", flow=f.name,
                                    size=f.size,

@@ -18,6 +18,7 @@ from ..sim import Event, Simulator, Tracer
 from .flows import Flow, FlowNetwork, Link
 
 if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..obs.metrics import MetricsRegistry
     from .nat import NatBox
 
 
@@ -76,10 +77,11 @@ class HostOffline(RuntimeError):
 class Network:
     """Facade over :class:`FlowNetwork` exposing host-to-host transfers."""
 
-    def __init__(self, sim: Simulator, tracer: Tracer | None = None) -> None:
+    def __init__(self, sim: Simulator, tracer: Tracer | None = None,
+                 metrics: "MetricsRegistry | None" = None) -> None:
         self.sim = sim
         self.tracer = tracer
-        self.flownet = FlowNetwork(sim, tracer=tracer)
+        self.flownet = FlowNetwork(sim, tracer=tracer, metrics=metrics)
         self.hosts: dict[str, Host] = {}
 
     # -- construction -----------------------------------------------------------

@@ -1,0 +1,158 @@
+"""Exporters: Chrome trace-event JSON (Perfetto), JSONL, and run summaries.
+
+The Chrome trace-event format is the lingua franca of timeline viewers —
+``chrome://tracing`` and https://ui.perfetto.dev both load it directly.
+We emit one *process* for the volunteer hosts and one for the project
+server, with one *thread* (track) per host and per server daemon, complete
+("X") events for spans, and instant ("i") events for daemon actions and
+backoffs.  Timestamps are simulated microseconds, so a run's trace is a
+pure function of its seed: byte-identical across repeats, which the golden
+determinism test asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as _t
+
+from ..sim import Tracer
+from .metrics import MetricsRegistry
+from .spans import DAEMON_TRACKS, HOST_TRACK, Instant, Span, SpanBuilder
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from .probes import SelfProfiler
+
+#: Synthetic pids for the two Chrome trace processes.
+_HOSTS_PID = 1
+_SERVER_PID = 2
+
+
+def _track_ids(builder: SpanBuilder) -> dict[str, tuple[int, int]]:
+    """Map track name -> (pid, tid), hosts then daemons, deterministic."""
+    out: dict[str, tuple[int, int]] = {}
+    tid = 1
+    for track in builder.tracks():
+        if track.startswith(f"{HOST_TRACK}:"):
+            out[track] = (_HOSTS_PID, tid)
+            tid += 1
+    for i, daemon in enumerate(DAEMON_TRACKS, start=1):
+        track = f"daemon:{daemon}"
+        if track in builder.tracks():
+            out[track] = (_SERVER_PID, i)
+    return out
+
+
+def _json_safe(args: _t.Mapping[str, _t.Any]) -> dict[str, _t.Any]:
+    return {k: (v if isinstance(v, (int, float, str, bool, type(None)))
+                else repr(v))
+            for k, v in args.items()}
+
+
+def chrome_trace_events(builder: SpanBuilder) -> list[dict]:
+    """The ``traceEvents`` list for *builder*'s timeline."""
+    ids = _track_ids(builder)
+    events: list[dict] = [
+        {"ph": "M", "pid": _HOSTS_PID, "name": "process_name",
+         "args": {"name": "volunteer hosts"}},
+        {"ph": "M", "pid": _SERVER_PID, "name": "process_name",
+         "args": {"name": "project server"}},
+    ]
+    for track, (pid, tid) in sorted(ids.items(), key=lambda kv: kv[1]):
+        label = track.split(":", 1)[1]
+        events.append({"ph": "M", "pid": pid, "tid": tid,
+                       "name": "thread_name", "args": {"name": label}})
+
+    def emit_span(span: Span) -> None:
+        pid, tid = ids[span.track]
+        args = _json_safe(span.args)
+        if span.leaked:
+            args["leaked"] = True
+        events.append({
+            "ph": "X", "pid": pid, "tid": tid, "cat": span.category,
+            "name": span.name, "ts": span.start * 1e6,
+            "dur": span.duration * 1e6, "args": args,
+        })
+        for child in span.children:
+            emit_span(child)
+
+    for span in sorted(builder.spans, key=_span_order):
+        emit_span(span)
+    for inst in sorted(builder.instants, key=_instant_order):
+        pid, tid = ids[inst.track]
+        events.append({
+            "ph": "i", "pid": pid, "tid": tid, "cat": inst.category,
+            "name": inst.name, "ts": inst.time * 1e6, "s": "t",
+            "args": _json_safe(inst.args),
+        })
+    return events
+
+
+def _span_order(span: Span) -> tuple:
+    return (span.start, span.track, span.name)
+
+
+def _instant_order(inst: Instant) -> tuple:
+    return (inst.time, inst.track, inst.name)
+
+
+def chrome_trace_json(builder: SpanBuilder, indent: int | None = None) -> str:
+    """Serialise the timeline as a Chrome trace-event JSON document."""
+    doc = {
+        "traceEvents": chrome_trace_events(builder),
+        "displayTimeUnit": "ms",
+        "metadata": {"format": "repro.obs chrome trace",
+                     "clock": "simulated-microseconds"},
+    }
+    return json.dumps(doc, indent=indent, sort_keys=True)
+
+
+def write_chrome_trace(builder: SpanBuilder, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(chrome_trace_json(builder))
+
+
+def trace_to_jsonl(tracer: Tracer, out: _t.TextIO | None = None,
+                   kinds: _t.Sequence[str] | None = None) -> str:
+    """One JSON object per trace record — greppable, pandas-loadable."""
+    lines = []
+    for rec in tracer.records:
+        if kinds is not None and rec.kind not in kinds:
+            continue
+        row: dict[str, _t.Any] = {"time": rec.time, "kind": rec.kind}
+        for key, value in _json_safe(rec.fields).items():
+            # A payload field may shadow record metadata (e.g. sched.assign
+            # carries kind="map"); keep both under distinct keys.
+            row[f"field.{key}" if key in row else key] = value
+        lines.append(json.dumps(row, sort_keys=True))
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if out is not None:
+        out.write(text)
+    return text
+
+
+def run_summary(tracer: Tracer,
+                metrics: MetricsRegistry | None = None,
+                builder: SpanBuilder | None = None,
+                profiler: "SelfProfiler | None" = None,
+                top_kinds: int = 10) -> str:
+    """Plain-text end-of-run report: traffic, metrics, leaks, hot spots."""
+    lines: list[str] = ["== run summary =="]
+    total = sum(tracer.counts.values())
+    lines.append(f"trace records: {len(tracer.records)} kept / {total} seen")
+    busiest = sorted(tracer.counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    for kind, count in busiest[:top_kinds]:
+        lines.append(f"  {kind:40s} {count:8d}")
+    if builder is not None:
+        lines.append(f"spans: {len(builder.spans)} closed, "
+                     f"{len(builder.instants)} instants, "
+                     f"{len(builder.leaked)} leaked")
+        for span in builder.leaked[:top_kinds]:
+            lines.append(f"  LEAKED {span.name} on {span.track} "
+                         f"open {span.duration:.1f}s")
+    if metrics is not None:
+        lines.append("-- metrics --")
+        lines.append(metrics.render())
+    if profiler is not None:
+        lines.append("-- engine self-profile (wall-clock dispatch time) --")
+        lines.append(profiler.render(top=5))
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Standard probes: queue-depth gauges and the engine self-profiler.
+
+:func:`attach_standard_probes` registers the gauges Anderson's BOINC
+server-status page exposes for a real project — scheduler RPC concurrency
+and queue depth, per-daemon backlogs, in-flight network flows and link
+utilisation, client task-state occupancy — against a
+:class:`~repro.obs.metrics.MetricsRegistry`, where a
+:class:`~repro.obs.metrics.Sampler` turns them into time series.
+
+:class:`SelfProfiler` hooks :attr:`Simulator.dispatch_hook` and aggregates
+*wall-clock* time per callback kind (process name prefix or function
+qualname), which is how we find the simulator's own hot spots.  Wall-clock
+readings never feed back into simulated time or exported traces, so
+profiling cannot perturb determinism.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from ..sim import Simulator
+from ..sim.process import Process
+from .metrics import MetricsRegistry
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..core.system import VolunteerCloud
+
+
+def attach_standard_probes(cloud: "VolunteerCloud",
+                           registry: MetricsRegistry | None = None
+                           ) -> MetricsRegistry:
+    """Register the standard gauge set for a :class:`VolunteerCloud`.
+
+    Idempotent per registry (gauges are get-or-create).  Returns the
+    registry the probes were attached to (``cloud.metrics`` by default).
+    """
+    from ..boinc.client import TaskState
+    from ..boinc.model import WorkunitState
+
+    reg = registry if registry is not None else cloud.metrics
+    server = cloud.server
+    net = cloud.net
+
+    reg.gauge("sched.rpc_in_use", "scheduler RPC slots in use",
+              fn=lambda: server._rpc_slots.in_use)
+    reg.gauge("sched.rpc_queue_depth", "RPCs queued for a scheduler slot",
+              fn=lambda: server._rpc_slots.waiting)
+    reg.gauge("daemon.feeder.cache_visible", "results in the feeder cache",
+              fn=lambda: len(server._feeder_visible))
+    reg.gauge("daemon.transitioner.backlog",
+              "dirty workunits awaiting a transitioner pass",
+              fn=lambda: len(server._dirty_wus))
+    reg.gauge("daemon.validator.backlog",
+              "workunits flagged need_validate",
+              fn=lambda: sum(1 for wu in server.db.workunits.values()
+                             if wu.need_validate
+                             and wu.state is WorkunitState.ACTIVE))
+    reg.gauge("daemon.assimilator.backlog",
+              "validated workunits awaiting assimilation",
+              fn=lambda: sum(1 for wu in server.db.workunits.values()
+                             if wu.state is WorkunitState.VALIDATED))
+    reg.gauge("net.flows_active", "in-flight bulk transfers",
+              fn=lambda: len(net.flownet.active))
+    reg.gauge("net.server_uplink_util", "server uplink utilisation 0..1",
+              fn=lambda: net.flownet.utilisation(cloud.server_host.uplink))
+    reg.gauge("net.server_downlink_util", "server downlink utilisation 0..1",
+              fn=lambda: net.flownet.utilisation(cloud.server_host.downlink))
+
+    def _occupancy(state: str) -> _t.Callable[[], float]:
+        def count() -> float:
+            return sum(1 for c in cloud.clients
+                       for t in c.tasks if t.state == state)
+        return count
+
+    for state in (TaskState.DOWNLOADING, TaskState.WAITING_CPU,
+                  TaskState.COMPUTING, TaskState.UPLOADING,
+                  TaskState.READY_TO_REPORT):
+        reg.gauge(f"client.tasks_{state}", f"client tasks in state {state}",
+                  fn=_occupancy(state))
+    return reg
+
+
+class SelfProfiler:
+    """Wall-clock dispatch-time accounting per callback kind.
+
+    A *kind* is the process-name prefix for generator processes (``task``,
+    ``client``, ``rpc``, ``feeder`` …) and the function qualname for bare
+    callbacks — coarse enough to aggregate, fine enough to point at the
+    hot subsystem.
+    """
+
+    def __init__(self, sim: Simulator | None = None) -> None:
+        self.totals: dict[str, list[float]] = {}  # kind -> [count, seconds]
+        self._sim: Simulator | None = None
+        if sim is not None:
+            self.install(sim)
+
+    # -- lifecycle ------------------------------------------------------------
+    def install(self, sim: Simulator) -> "SelfProfiler":
+        if sim.dispatch_hook is not None:
+            raise RuntimeError("simulator already has a dispatch hook")
+        sim.dispatch_hook = self._observe
+        self._sim = sim
+        return self
+
+    def uninstall(self) -> None:
+        if self._sim is not None and self._sim.dispatch_hook == self._observe:
+            self._sim.dispatch_hook = None
+        self._sim = None
+
+    # -- accounting ------------------------------------------------------------
+    def _observe(self, fn: _t.Callable[..., None], args: tuple,
+                 elapsed: float) -> None:
+        entry = self.totals.setdefault(self._classify(fn), [0, 0.0])
+        entry[0] += 1
+        entry[1] += elapsed
+
+    @staticmethod
+    def _classify(fn: _t.Callable[..., None]) -> str:
+        owner = getattr(fn, "__self__", None)
+        if isinstance(owner, Process):
+            name = owner.name or "process"
+            return f"process:{name.split(':', 1)[0]}"
+        if owner is not None:
+            return f"{type(owner).__name__}.{fn.__name__}"
+        return getattr(fn, "__qualname__", repr(fn))
+
+    # -- reporting ------------------------------------------------------------
+    @property
+    def total_seconds(self) -> float:
+        return sum(seconds for _count, seconds in self.totals.values())
+
+    def top(self, n: int = 5) -> list[tuple[str, int, float]]:
+        """``(kind, dispatch_count, wall_seconds)`` rows, hottest first."""
+        rows = [(kind, int(count), seconds)
+                for kind, (count, seconds) in self.totals.items()]
+        rows.sort(key=lambda r: (-r[2], r[0]))
+        return rows[:n]
+
+    def render(self, top: int = 5) -> str:
+        total = self.total_seconds
+        lines = [f"total dispatch wall time: {total * 1e3:.1f} ms over "
+                 f"{sum(int(c) for c, _s in self.totals.values())} callbacks"]
+        for kind, count, seconds in self.top(top):
+            share = 100.0 * seconds / total if total > 0 else 0.0
+            lines.append(f"  {kind:32s} {count:8d} calls "
+                         f"{seconds * 1e3:9.1f} ms ({share:4.1f}%)")
+        return "\n".join(lines)
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        return {kind: {"count": count, "seconds": seconds}
+                for kind, (count, seconds) in sorted(self.totals.items())}

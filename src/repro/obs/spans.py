@@ -1,0 +1,270 @@
+"""Stitch flat trace records into hierarchical span timelines.
+
+The paper's headline artefacts are *timelines*: Table I makespans and the
+Fig. 4 backoff-straggler pathology only make sense when you can see each
+result's download → compute → upload → report-wait phases laid out over
+simulated time next to the server daemons' activity.  The models already
+emit flat :class:`~repro.sim.trace.TraceRecord` rows; a :class:`SpanBuilder`
+registered as a live ``Tracer.tap()`` folds them into:
+
+- one **result span** per assignment (``sched.assign`` → ``sched.report``)
+  on the executing host's track, with child phase spans;
+- one **RPC span** per scheduler round-trip (``client.rpc_start`` →
+  ``client.rpc_done``) on the host's track;
+- **instant events** for backoffs and every server-daemon action on the
+  daemon's own track.
+
+Spans still open at end-of-run (a task assigned but never reported — the
+churn/straggler signature) are drained via
+:meth:`~repro.sim.trace.IntervalAccumulator.close_all` and flagged
+``leaked`` so the run summary can report them instead of silently losing
+them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from ..sim import IntervalAccumulator, TraceRecord, Tracer
+
+#: Track name for per-host timelines.
+HOST_TRACK = "host"
+#: Track names for the server-side daemons, in display order.
+DAEMON_TRACKS = ("scheduler", "feeder", "transitioner", "validator",
+                 "assimilator", "jobtracker", "dataserver")
+
+#: Trace kinds routed to each daemon track (prefix match on ``kind.``).
+_DAEMON_PREFIXES: dict[str, str] = {
+    "sched": "scheduler",
+    "transitioner": "transitioner",
+    "validator": "validator",
+    "assimilator": "assimilator",
+    "jobtracker": "jobtracker",
+    "server": "dataserver",
+    "flow": "dataserver",
+}
+
+
+@dataclasses.dataclass(slots=True)
+class Span:
+    """A closed (or force-closed) interval on one track."""
+
+    name: str
+    track: str
+    start: float
+    end: float
+    category: str = "task"
+    args: dict[str, _t.Any] = dataclasses.field(default_factory=dict)
+    children: list["Span"] = dataclasses.field(default_factory=list)
+    leaked: bool = False
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclasses.dataclass(slots=True)
+class Instant:
+    """A zero-duration marker on one track."""
+
+    name: str
+    track: str
+    time: float
+    category: str = "event"
+    args: dict[str, _t.Any] = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass(slots=True)
+class _ResultState:
+    """Per-result accumulation between ``sched.assign`` and ``sched.report``."""
+
+    result_id: int
+    host: str
+    assigned_at: float
+    job: str | None = None
+    kind: str | None = None
+    index: int | None = None
+    download_start: float | None = None
+    compute_start: float | None = None
+    runtime: float | None = None
+    ready_at: float | None = None
+
+
+class SpanBuilder:
+    """Live trace observer that assembles the span timeline.
+
+    Attach with ``SpanBuilder(tracer)`` (registers itself as a tap) before
+    the run starts; afterwards call :meth:`finish` once, then read
+    :attr:`spans`, :attr:`instants`, and :attr:`leaked`.
+    """
+
+    def __init__(self, tracer: Tracer) -> None:
+        self.tracer = tracer
+        self.spans: list[Span] = []
+        self.instants: list[Instant] = []
+        #: Result spans force-closed at end-of-run (assigned, never reported).
+        self.leaked: list[Span] = []
+        self._results: dict[int, _ResultState] = {}
+        self._result_intervals = IntervalAccumulator()
+        self._rpc_open: dict[str, tuple[float, float]] = {}  # host -> (t, work_req)
+        self._finished = False
+        tracer.tap(self._on_record)
+
+    # -- tap ------------------------------------------------------------------
+    def _on_record(self, rec: TraceRecord) -> None:
+        handler = self._HANDLERS.get(rec.kind)
+        if handler is not None:
+            handler(self, rec)
+        else:
+            self._generic_instant(rec)
+
+    def _generic_instant(self, rec: TraceRecord) -> None:
+        track = _DAEMON_PREFIXES.get(rec.kind.split(".", 1)[0])
+        if track is None:
+            return  # unknown substrate kind; not part of the timeline
+        self.instants.append(Instant(
+            name=rec.kind, track=f"daemon:{track}", time=rec.time,
+            args=dict(rec.fields)))
+
+    # -- per-result span machinery -------------------------------------------
+    def _on_assign(self, rec: TraceRecord) -> None:
+        rid = rec["result"]
+        self._results[rid] = _ResultState(
+            result_id=rid, host=rec["host"], assigned_at=rec.time,
+            job=rec.get("job"), kind=rec.get("kind"), index=rec.get("index"))
+        self._result_intervals.open(rid, rec.time)
+        self._generic_instant(rec)
+
+    def _on_download_start(self, rec: TraceRecord) -> None:
+        st = self._results.get(rec["result"])
+        if st is not None:
+            st.download_start = rec.time
+
+    def _on_compute_start(self, rec: TraceRecord) -> None:
+        st = self._results.get(rec["result"])
+        if st is not None:
+            st.compute_start = rec.time
+            st.runtime = rec.get("runtime")
+
+    def _on_ready(self, rec: TraceRecord) -> None:
+        st = self._results.get(rec["result"])
+        if st is not None:
+            st.ready_at = rec.time
+
+    def _on_report(self, rec: TraceRecord) -> None:
+        rid = rec["result"]
+        st = self._results.pop(rid, None)
+        if st is None:
+            return  # reported without a traced assignment (partial trace)
+        self._result_intervals.close(rid, rec.time)
+        self.spans.append(self._build_result_span(
+            st, end=rec.time, success=bool(rec.get("success", True))))
+        self._generic_instant(rec)
+
+    def _on_failed(self, rec: TraceRecord) -> None:
+        # The failure still flows through a later sched.report (which closes
+        # the span with success=False); mark the moment it happened too.
+        self.instants.append(Instant(
+            name="task-failed", track=f"{HOST_TRACK}:{rec['host']}",
+            time=rec.time, category="error", args=dict(rec.fields)))
+
+    def _build_result_span(self, st: _ResultState, end: float,
+                           success: bool, leaked: bool = False) -> Span:
+        label = (f"result {st.result_id}" if st.job is None
+                 else f"{st.job}/{st.kind}[{st.index}] r{st.result_id}")
+        span = Span(
+            name=label, track=f"{HOST_TRACK}:{st.host}",
+            start=st.assigned_at, end=end, category="result",
+            args={"result": st.result_id, "job": st.job, "kind": st.kind,
+                  "index": st.index, "success": success},
+            leaked=leaked)
+        phases: list[tuple[str, float | None, float | None]] = []
+        compute_end = (None if st.compute_start is None or st.runtime is None
+                       else st.compute_start + st.runtime)
+        phases.append(("download", st.download_start, st.compute_start))
+        phases.append(("compute", st.compute_start, compute_end))
+        phases.append(("upload", compute_end, st.ready_at))
+        phases.append(("report-wait", st.ready_at, end))
+        for name, start, stop in phases:
+            if start is None:
+                continue
+            stop = end if stop is None else min(stop, end)
+            if stop < start:
+                continue
+            span.children.append(Span(
+                name=name, track=span.track, start=start, end=stop,
+                category="phase", args={"result": st.result_id},
+                leaked=leaked))
+        return span
+
+    # -- RPC spans -------------------------------------------------------------
+    def _on_rpc_start(self, rec: TraceRecord) -> None:
+        self._rpc_open[rec["host"]] = (rec.time, rec.get("work_req", 0.0))
+
+    def _on_rpc_done(self, rec: TraceRecord) -> None:
+        host = rec["host"]
+        opened = self._rpc_open.pop(host, None)
+        if opened is None:
+            return
+        start, work_req = opened
+        self.spans.append(Span(
+            name="sched-rpc", track=f"{HOST_TRACK}:{host}", start=start,
+            end=rec.time, category="rpc",
+            args={"work_req": work_req,
+                  "n_assignments": rec.get("n_assignments", 0),
+                  "no_work": rec.get("no_work", False)}))
+
+    def _on_backoff(self, rec: TraceRecord) -> None:
+        self.instants.append(Instant(
+            name=f"backoff x{rec.get('count', '?')}",
+            track=f"{HOST_TRACK}:{rec['host']}", time=rec.time,
+            category="backoff", args=dict(rec.fields)))
+
+    _HANDLERS: dict[str, _t.Callable[["SpanBuilder", TraceRecord], None]] = {
+        "sched.assign": _on_assign,
+        "task.download_start": _on_download_start,
+        "task.compute_start": _on_compute_start,
+        "task.ready": _on_ready,
+        "task.failed": _on_failed,
+        "sched.report": _on_report,
+        "client.rpc_start": _on_rpc_start,
+        "client.rpc_done": _on_rpc_done,
+        "client.backoff": _on_backoff,
+    }
+
+    # -- end of run -------------------------------------------------------------
+    def finish(self, now: float) -> list[Span]:
+        """Close leaked spans at *now* and return them (idempotent)."""
+        if self._finished:
+            return self.leaked
+        self._finished = True
+        for rid, _start, end in self._result_intervals.close_all(now):
+            st = self._results.pop(rid, None)
+            if st is None:
+                continue
+            span = self._build_result_span(st, end=end, success=False,
+                                           leaked=True)
+            self.spans.append(span)
+            self.leaked.append(span)
+        for host, (start, work_req) in sorted(self._rpc_open.items()):
+            span = Span(name="sched-rpc", track=f"{HOST_TRACK}:{host}",
+                        start=start, end=max(start, now), category="rpc",
+                        args={"work_req": work_req}, leaked=True)
+            self.spans.append(span)
+            self.leaked.append(span)
+        self._rpc_open.clear()
+        return self.leaked
+
+    @property
+    def open_count(self) -> int:
+        """Result spans currently open (assigned, not yet reported)."""
+        return self._result_intervals.open_count
+
+    def tracks(self) -> list[str]:
+        """Every track referenced, hosts first then daemons, sorted."""
+        seen = {s.track for s in self.spans} | {i.track for i in self.instants}
+        hosts = sorted(t for t in seen if t.startswith(f"{HOST_TRACK}:"))
+        daemons = [f"daemon:{d}" for d in DAEMON_TRACKS
+                   if f"daemon:{d}" in seen]
+        return hosts + daemons

@@ -18,10 +18,14 @@ from __future__ import annotations
 import concurrent.futures
 import dataclasses
 import pickle
+import time
 import typing as _t
 
 from .api import MapReduceApp
 from .splitter import iter_records, split_text
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..obs.metrics import MetricsRegistry
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -60,13 +64,17 @@ class LocalRunner:
     """Run a :class:`MapReduceApp` over real input on this machine."""
 
     def __init__(self, app: MapReduceApp, n_maps: int, n_reducers: int,
-                 max_workers: int | None = None) -> None:
+                 max_workers: int | None = None,
+                 metrics: "MetricsRegistry | None" = None) -> None:
         if n_maps < 1 or n_reducers < 1:
             raise ValueError("n_maps and n_reducers must be >= 1")
         self.app = app
         self.n_maps = n_maps
         self.n_reducers = n_reducers
         self.max_workers = max_workers
+        #: Optional :class:`repro.obs.MetricsRegistry`: per-task wall-clock
+        #: histograms and byte counters (the real engine's own telemetry).
+        self.metrics = metrics
 
     # -- stages ---------------------------------------------------------------
     def run_map_task(self, map_index: int, chunk: bytes
@@ -121,6 +129,30 @@ class LocalRunner:
             bytes_out=len(pickle.dumps(output)))
         return report, output
 
+    # -- metrics ---------------------------------------------------------------
+    _LOCAL_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0)
+
+    def _observe_task(self, report: TaskReport, elapsed: float) -> None:
+        """Feed one task's wall-clock cost and volumes into the registry.
+
+        Called only from the coordinating thread — the registry's P²
+        estimators are not thread-safe.
+        """
+        if self.metrics is None:
+            return
+        self.metrics.histogram(f"local.{report.kind}_task_s",
+                               buckets=self._LOCAL_BUCKETS).observe(elapsed)
+        self.metrics.counter(f"local.{report.kind}_bytes_in_total").inc(
+            report.bytes_in)
+        self.metrics.counter(f"local.{report.kind}_bytes_out_total").inc(
+            report.bytes_out)
+
+    def _timed_map_task(self, map_index: int, chunk: bytes
+                        ) -> tuple[TaskReport, dict[int, bytes], float]:
+        t0 = time.perf_counter()
+        report, blobs = self.run_map_task(map_index, chunk)
+        return report, blobs, time.perf_counter() - t0
+
     # -- whole job ---------------------------------------------------------------
     def run(self, data: bytes, parallel: bool = False) -> JobReport:
         """Execute the full job on *data*; returns merged output + reports."""
@@ -131,21 +163,24 @@ class LocalRunner:
         if parallel and self.n_maps > 1:
             with concurrent.futures.ThreadPoolExecutor(
                     max_workers=self.max_workers) as pool:
-                futures = [pool.submit(self.run_map_task, i, chunk)
+                futures = [pool.submit(self._timed_map_task, i, chunk)
                            for i, chunk in enumerate(chunks)]
                 map_results = [f.result() for f in futures]
         else:
-            map_results = [self.run_map_task(i, chunk)
+            map_results = [self._timed_map_task(i, chunk)
                            for i, chunk in enumerate(chunks)]
-        for i, (report, blobs) in enumerate(map_results):
+        for i, (report, blobs, elapsed) in enumerate(map_results):
             tasks.append(report)
+            self._observe_task(report, elapsed)
             for r, blob in blobs.items():
                 all_blobs[(i, r)] = blob
 
         output: dict = {}
         for r in range(self.n_reducers):
             blobs = [all_blobs[(i, r)] for i in range(self.n_maps)]
+            t0 = time.perf_counter()
             report, part_out = self.run_reduce_task(r, blobs)
+            self._observe_task(report, time.perf_counter() - t0)
             tasks.append(report)
             overlap = set(part_out) & set(output)
             if overlap:  # partitioner guarantees disjoint key ranges

@@ -16,6 +16,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import time as _time
 import typing as _t
 
 from .events import AllOf, AnyOf, Event, Timeout
@@ -55,6 +56,12 @@ class Simulator:
         self._stopped = False
         #: Number of callbacks executed so far (diagnostic).
         self.dispatch_count = 0
+        #: Optional observer ``(fn, args, wall_seconds)`` called after every
+        #: dispatched callback — the hook behind the engine self-profiler
+        #: (:class:`repro.obs.probes.SelfProfiler`).  Leave ``None`` to keep
+        #: :meth:`step` on its timer-free fast path.
+        self.dispatch_hook: _t.Callable[
+            [_t.Callable[..., None], tuple, float], None] | None = None
 
     # -- clock --------------------------------------------------------------
     @property
@@ -114,7 +121,13 @@ class Simulator:
             raise SimulationError("event queue went backwards in time")
         self._now = when
         self.dispatch_count += 1
-        fn(*args)
+        hook = self.dispatch_hook
+        if hook is None:
+            fn(*args)
+        else:
+            t0 = _time.perf_counter()
+            fn(*args)
+            hook(fn, args, _time.perf_counter() - t0)
         return True
 
     def peek(self) -> float:

@@ -41,23 +41,36 @@ class Tracer:
         self.counts: collections.Counter[str] = collections.Counter()
         self._keep = keep
         self._taps: list[_t.Callable[[TraceRecord], None]] = []
+        #: Per-kind index over kept records: select(kind) is O(matches),
+        #: not O(all records) — the analysis layer queries per kind a lot.
+        self._by_kind: dict[str, list[TraceRecord]] = {}
 
     def record(self, time: float, kind: str, /, **fields: _t.Any) -> None:
         """Append a record at simulated *time* under *kind*.
 
         The first two parameters are positional-only so ``fields`` may
         itself contain a ``kind`` key (e.g. a workunit's map/reduce kind).
+
+        Taps run after the record is stored, in registration order; an
+        exception from a tap propagates to the emitter (observability
+        bugs should be loud), skipping any later taps.
         """
         self.counts[kind] += 1
         rec = TraceRecord(time=time, kind=kind, fields=fields)
         if self._keep is None or self._keep(kind):
             self.records.append(rec)
+            self._by_kind.setdefault(kind, []).append(rec)
         for tap in self._taps:
             tap(rec)
 
     def tap(self, fn: _t.Callable[[TraceRecord], None]) -> None:
         """Register a live observer called for every record (kept or not)."""
         self._taps.append(fn)
+
+    def untap(self, fn: _t.Callable[[TraceRecord], None]) -> None:
+        """Remove a previously registered tap (no-op if absent)."""
+        if fn in self._taps:
+            self._taps.remove(fn)
 
     # -- queries -------------------------------------------------------------
     def select(self, kind: str | None = None, /,
@@ -67,10 +80,9 @@ class Tracer:
         ``kind`` is positional-only so a field named "kind" can be
         filtered on (e.g. a workunit's map/reduce kind).
         """
+        pool = self.records if kind is None else self._by_kind.get(kind, [])
         out = []
-        for rec in self.records:
-            if kind is not None and rec.kind != kind:
-                continue
+        for rec in pool:
             if any(rec.get(k, _MISSING) != v for k, v in field_filters.items()):
                 continue
             out.append(rec)
@@ -135,6 +147,30 @@ class IntervalAccumulator:
     def durations(self) -> list[float]:
         """Durations of all closed intervals, in closing order."""
         return [end - start for _key, start, end in self.closed]
+
+    def open_items(self) -> list[tuple[_t.Hashable, float]]:
+        """Still-open ``(key, opened_at)`` pairs, in opening order.
+
+        Leaked spans (a task assigned but never reported under churn)
+        show up here; the run summary reports them.
+        """
+        return list(self._open.items())
+
+    def close_all(self, time: float) -> list[tuple[_t.Hashable, float, float]]:
+        """Force-close every open interval at *time*; returns those closed.
+
+        Intervals opened after *time* close with zero duration rather
+        than going backwards — this is a drain for end-of-run leak
+        accounting, not a time machine.
+        """
+        drained: list[tuple[_t.Hashable, float, float]] = []
+        for key, start in self.open_items():
+            del self._open[key]
+            end = max(start, time)
+            item = (key, start, end)
+            self.closed.append(item)
+            drained.append(item)
+        return drained
 
     @property
     def open_count(self) -> int:

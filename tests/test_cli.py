@@ -22,6 +22,15 @@ class TestParser:
         args = build_parser().parse_args(["run"])
         assert (args.nodes, args.maps, args.reducers) == (20, 20, 5)
         assert not args.mr
+        assert args.trace_out is None and args.trace_format == "chrome"
+
+    def test_trace_format_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--trace-format", "svg"])
+
+    def test_metrics_defaults(self):
+        args = build_parser().parse_args(["metrics"])
+        assert args.sample_period == 30.0
 
 
 class TestCommands:
@@ -63,3 +72,48 @@ class TestCommands:
     def test_ablations_command(self, capsys):
         assert main(["ablations"]) == 0
         assert "report_immediately" in capsys.readouterr().out
+
+
+class TestObservabilityCommands:
+    RUN = ["run", "--mr", "--nodes", "6", "--maps", "6", "--reducers", "2",
+           "--input-gb", "0.06"]
+
+    def test_run_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        assert main([*self.RUN, "--trace-out", str(out)]) == 0
+        assert "wrote chrome trace" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert {e["ph"] for e in doc["traceEvents"]} <= {"M", "X", "i"}
+        assert any(e["ph"] == "X" and e["cat"] == "result"
+                   for e in doc["traceEvents"])
+
+    def test_run_trace_identical_across_same_seed_runs(self, tmp_path):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for p in paths:
+            assert main(["--seed", "4", *self.RUN,
+                         "--trace-out", str(p)]) == 0
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_run_jsonl_and_csv_formats(self, tmp_path):
+        import json
+
+        jl = tmp_path / "t.jsonl"
+        assert main([*self.RUN, "--trace-out", str(jl),
+                     "--trace-format", "jsonl"]) == 0
+        first = json.loads(jl.read_text().splitlines()[0])
+        assert "kind" in first and "time" in first
+
+        cs = tmp_path / "t.csv"
+        assert main([*self.RUN, "--trace-out", str(cs),
+                     "--trace-format", "csv"]) == 0
+        assert cs.read_text().splitlines()[0].startswith("time,kind")
+
+    def test_metrics_command(self, capsys):
+        assert main(["metrics", "--nodes", "6", "--maps", "6",
+                     "--reducers", "2", "--input-gb", "0.06"]) == 0
+        out = capsys.readouterr().out
+        assert "sched.rpc_total" in out
+        assert "daemon.transitioner.backlog" in out
+        assert "engine self-profile" in out
