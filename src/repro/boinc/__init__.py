@@ -17,9 +17,11 @@ from .client import (
     ServerInputFetcher,
     ServerUploadPolicy,
     TaskState,
+    download_with_retry,
     make_client,
+    upload_with_retry,
 )
-from .dataserver import DataServer, FileMissing
+from .dataserver import ChecksumMismatch, DataServer, FileMissing, ServerUnavailable
 from .model import (
     Database,
     FileRef,
@@ -51,6 +53,10 @@ __all__ = [
     "Database",
     "DataServer",
     "FileMissing",
+    "ServerUnavailable",
+    "ChecksumMismatch",
+    "download_with_retry",
+    "upload_with_retry",
     "Workunit",
     "WorkunitState",
     "Result",

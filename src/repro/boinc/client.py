@@ -25,9 +25,17 @@ import typing as _t
 
 import numpy as np
 
-from ..net import Host, Network, TransferEndpoint
+from ..net import (
+    FlowError,
+    Host,
+    HostOffline,
+    Network,
+    TransferEndpoint,
+    TransferFailed,
+)
 from ..sim import Interrupted, Process, Simulator, Tracer, jittered
 from ..net.transfer import SimSemaphore
+from .dataserver import ChecksumMismatch, ServerUnavailable
 from .model import FileRef, HostRecord, OutputData
 from .server import Assignment, ProjectServer, ReportedResult, SchedulerRequest
 
@@ -69,6 +77,13 @@ class ClientConfig:
     max_peer_download_conns: int = 6
     #: Initial scheduler contact is staggered by up to this many seconds.
     initial_stagger_s: float = 5.0
+    #: Bounded retry for data-server transfers (503s, outages, corrupt
+    #: payloads).  The backoff between attempts reuses the paper's
+    #: exponential shape on its own, shorter, scale — curl retries are
+    #: minutes, scheduler deferrals are tens of minutes.
+    transfer_retries: int = 6
+    transfer_backoff_min_s: float = 15.0
+    transfer_backoff_max_s: float = 300.0
 
 
 class TaskState:
@@ -111,15 +126,107 @@ class Executor(_t.Protocol):
     def execute(self, client: "Client", task: ClientTask) -> OutputData: ...
 
 
+def _transfer_backoff(client: "Client", attempt: int) -> float:
+    cfg = client.config
+    raw = cfg.transfer_backoff_min_s * (2.0 ** (attempt - 1))
+    return jittered(client.rng, min(cfg.transfer_backoff_max_s, raw),
+                    cfg.backoff_jitter)
+
+
+def download_with_retry(client: "Client", name: str) -> _t.Generator:
+    """Process body: fetch *name* from the data server with bounded retry.
+
+    Retries 503-style refusals (:class:`ServerUnavailable`), transfers cut
+    by outages or partitions (:class:`FlowError`/:class:`HostOffline`), and
+    corrupt payloads (:class:`ChecksumMismatch` — the checksum catches them
+    and curl re-downloads).  :class:`FileMissing` is *not* retried: a file
+    the server does not hold will not appear because we ask again.  Raises
+    :class:`TransferFailed` when the retry budget is exhausted.
+    """
+    cfg = client.config
+    last = "no attempts made"
+    for attempt in range(1, cfg.transfer_retries + 1):
+        flow = None
+        try:
+            flow = client.server.dataserver.download(name, client.host)
+            yield flow.done
+            if flow.corrupted:
+                raise ChecksumMismatch(
+                    f"{name!r} failed checksum validation after download")
+            return flow
+        except (ServerUnavailable, HostOffline, FlowError,
+                ChecksumMismatch) as exc:
+            last = str(exc)
+            if client.metrics is not None:
+                client.metrics.counter("client.download_retries_total").inc()
+            client.tracer.record(client.sim.now, "client.download_retry",
+                                 host=client.name, file=name, attempt=attempt,
+                                 error=last)
+            if attempt >= cfg.transfer_retries:
+                break
+        finally:
+            # Interrupted (churn kill) can land on either yield: never
+            # leave the flow consuming bandwidth unobserved.
+            if flow is not None and not flow.finished:
+                client.net.flownet.abort_flow(flow, reason="download cancelled")
+        yield client.sim.timeout(_transfer_backoff(client, attempt))
+    raise TransferFailed(
+        f"download of {name!r} failed after {cfg.transfer_retries} "
+        f"attempts: {last}")
+
+
+def upload_with_retry(client: "Client", ref: FileRef,
+                      background: bool = False) -> _t.Generator:
+    """Process body: upload *ref* to the data server with bounded retry."""
+    cfg = client.config
+    last = "no attempts made"
+    for attempt in range(1, cfg.transfer_retries + 1):
+        flow = None
+        try:
+            flow = client.server.dataserver.upload(ref, client.host,
+                                                   background=background)
+            yield flow.done
+            return flow
+        except (ServerUnavailable, HostOffline, FlowError) as exc:
+            last = str(exc)
+            if client.metrics is not None:
+                client.metrics.counter("client.upload_retries_total").inc()
+            client.tracer.record(client.sim.now, "client.upload_retry",
+                                 host=client.name, file=ref.name,
+                                 attempt=attempt, error=last)
+            if attempt >= cfg.transfer_retries:
+                break
+        finally:
+            if flow is not None and not flow.finished:
+                client.net.flownet.abort_flow(flow, reason="upload cancelled")
+        yield client.sim.timeout(_transfer_backoff(client, attempt))
+    raise TransferFailed(
+        f"upload of {ref.name!r} failed after {cfg.transfer_retries} "
+        f"attempts: {last}")
+
+
 class ServerInputFetcher:
-    """Default BOINC behaviour: download every input from the data server."""
+    """Default BOINC behaviour: download every input from the data server.
+
+    Downloads run as parallel child processes (concurrent flows, each with
+    its own retry loop); cancelling the task cascades to them so no flow
+    or retry timer outlives the fetch.
+    """
 
     def fetch(self, client: "Client", task: ClientTask) -> _t.Generator:
-        flows = []
-        for ref in task.assignment.wu.input_files:
-            flows.append(client.server.dataserver.download(ref.name, client.host))
-        if flows:
-            yield client.sim.all_of([f.done for f in flows])
+        procs = [
+            client.sim.process(download_with_retry(client, ref.name),
+                               name=f"download:{client.name}:{ref.name}")
+            for ref in task.assignment.wu.input_files
+        ]
+        if not procs:
+            return
+        try:
+            yield client.sim.all_of(procs)
+        finally:
+            for proc in procs:
+                if proc.alive:
+                    proc.interrupt("input fetch cancelled")
 
 
 class ServerUploadPolicy:
@@ -128,12 +235,18 @@ class ServerUploadPolicy:
     def handle(self, client: "Client", task: ClientTask) -> _t.Generator:
         assert task.output is not None
         nice = client.config.nice_uploads
-        flows = []
-        for ref in task.output.files:
-            flows.append(client.server.dataserver.upload(
-                ref, client.host, background=nice))
-        if flows:
-            yield client.sim.all_of([f.done for f in flows])
+        procs = [
+            client.sim.process(upload_with_retry(client, ref, background=nice),
+                               name=f"upload:{client.name}:{ref.name}")
+            for ref in task.output.files
+        ]
+        try:
+            if procs:
+                yield client.sim.all_of(procs)
+        finally:
+            for proc in procs:
+                if proc.alive:
+                    proc.interrupt("output upload cancelled")
         client.server.record_upload(task.assignment.result_id)
 
 
@@ -143,8 +256,12 @@ class GenericExecutor:
     def execute(self, client: "Client", task: ClientTask) -> OutputData:
         wu = task.assignment.wu
         out_size = sum(ref.size for ref in wu.input_files) * 0.1
+        digest = f"wu:{wu.id}"
+        if getattr(client, "corrupt_results", False):
+            # Byzantine fault: a digest no honest replica reproduces.
+            digest = f"corrupt:{client.name}:{digest}"
         return OutputData(
-            digest=f"wu:{wu.id}",
+            digest=digest,
             files=(FileRef(name=f"{wu.app_name}_{wu.id}_out_{task.assignment.result_id}",
                            size=out_size),),
         )
@@ -183,15 +300,25 @@ class Client:
         self._cpu = SimSemaphore(sim, self.config.ncpus, name=f"{self.name}.cpu")
         self._backoff_count = 0
         self._next_allowed_rpc = 0.0
+        #: Gate after a *failed* scheduler contact (server down, partition).
+        #: Unlike ``_next_allowed_rpc``, even urgent reports respect it —
+        #: there is no point hammering a server that refused us.
+        self._comm_gate = 0.0
+        self._rpc_failures = 0
         self._wake = sim.event(f"{self.name}.wake0")
         self._main_proc: Process | None = None
         self._task_procs: list[Process] = []
         self._stopped = False
+        #: Fault injection: compute-time multiplier (> 1 = straggler).
+        self.slowdown = 1.0
+        #: Fault injection: every produced result digest is corrupted.
+        self.corrupt_results = False
         #: Shared metrics registry (the server's, when it has one).
         self.metrics = server.metrics
         #: Diagnostics.
         self.rpcs = 0
         self.backoffs = 0
+        self.rpc_retries = 0
 
     # -- lifecycle ---------------------------------------------------------------
     def start(self) -> None:
@@ -233,13 +360,15 @@ class Client:
                 have_reports = bool(self._ready)
                 urgent = have_reports and self.config.report_immediately
                 now = self.sim.now
-                if (want_work or have_reports) and (now >= self._next_allowed_rpc
-                                                    or urgent):
+                if (want_work or have_reports) and now >= self._comm_gate and (
+                        now >= self._next_allowed_rpc or urgent):
                     yield from self._rpc_cycle(want_work)
                     continue
                 self._wake = self.sim.event(f"{self.name}.wake")
                 if want_work or have_reports:
-                    delay = max(0.0, self._next_allowed_rpc - now)
+                    wait_until = 0.0 if urgent else self._next_allowed_rpc
+                    wait_until = max(wait_until, self._comm_gate)
+                    delay = max(0.0, wait_until - now)
                     yield self.sim.any_of([self._wake, self.sim.timeout(delay)])
                 else:
                     yield self._wake
@@ -264,11 +393,34 @@ class Client:
         self.rpcs += 1
         self.tracer.record(self.sim.now, "client.rpc_start", host=self.name,
                            work_req=work_req, n_reports=len(reports))
-        rtt = self.net.rtt(self.host, self.server.host)
-        if rtt > 0:
-            yield self.sim.timeout(rtt)
-        reply = yield self.sim.process(
-            self.server.scheduler_rpc(request), name=f"rpc:{self.name}")
+        try:
+            if not self.host.online or not self.net.reachable(self.host,
+                                                              self.server.host):
+                raise ServerUnavailable(
+                    f"project server unreachable from {self.name}")
+            rtt = self.net.rtt(self.host, self.server.host)
+            if rtt > 0:
+                yield self.sim.timeout(rtt)
+            reply = yield self.sim.process(
+                self.server.scheduler_rpc(request), name=f"rpc:{self.name}")
+        except ServerUnavailable as exc:
+            # Lost contact (crash fault or partition).  Put the reports
+            # back for the next attempt and retry on the paper's
+            # exponential backoff + jitter shape — BOINC clients poll a
+            # dead project forever; nothing is abandoned.
+            self._ready = reporting + self._ready
+            self._rpc_failures += 1
+            self.rpc_retries += 1
+            if self.metrics is not None:
+                self.metrics.counter("client.rpc_retries_total").inc()
+            delay = self._comm_backoff()
+            self._comm_gate = self.sim.now + delay
+            self.tracer.record(self.sim.now, "client.rpc_failed",
+                               host=self.name, error=str(exc),
+                               failures=self._rpc_failures, delay=delay)
+            return
+        self._rpc_failures = 0
+        self._comm_gate = 0.0
         self.tracer.record(self.sim.now, "client.rpc_done", host=self.name,
                            n_assignments=len(reply.assignments),
                            no_work=reply.no_work)
@@ -299,6 +451,13 @@ class Client:
         capped = min(cfg.backoff_max_s, raw)
         return jittered(self.rng, capped, cfg.backoff_jitter)
 
+    def _comm_backoff(self) -> float:
+        """Deferral after a failed contact: same shape, own counter."""
+        cfg = self.config
+        raw = cfg.backoff_min_s * (2.0 ** (self._rpc_failures - 1))
+        capped = min(cfg.backoff_max_s, raw)
+        return jittered(self.rng, capped, cfg.backoff_jitter)
+
     def _to_report(self, task: ClientTask) -> ReportedResult:
         ok = task.error is None
         return ReportedResult(
@@ -321,13 +480,17 @@ class Client:
 
             task.state = TaskState.WAITING_CPU
             grant = self._cpu.acquire()
-            yield grant
             try:
+                # The yield is inside the try: a churn kill landing while
+                # we are still *queued* for the CPU must withdraw the
+                # pending grant (settle), or the slot is leaked forever.
+                yield grant
                 task.state = TaskState.COMPUTING
                 task.started_compute_at = self.sim.now
                 runtime = wu.flops / (self.record.flops
                                        * self.config.speed_factor)
                 runtime = jittered(self.rng, runtime, self.config.compute_jitter)
+                runtime *= self.slowdown  # straggler fault, 1.0 when healthy
                 self.tracer.record(self.sim.now, "task.compute_start",
                                    host=self.name,
                                    result=task.assignment.result_id,
@@ -336,7 +499,7 @@ class Client:
                 task.finished_compute_at = self.sim.now
                 task.output = self.executor.execute(self, task)
             finally:
-                self._cpu.release()
+                self._cpu.settle(grant)
 
             task.state = TaskState.UPLOADING
             yield from self.output_policy.handle(self, task)

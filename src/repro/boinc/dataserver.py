@@ -6,11 +6,19 @@ holding a catalogue of named files; downloads and uploads are flows through
 the shared server access link, which is exactly what makes the via-server
 path a bottleneck compared to inter-client transfers (the paper's central
 bandwidth argument).
+
+Fault injection (:mod:`repro.faults`) degrades the service through three
+knobs: ``available`` (503-style refusals the client retries with the
+paper's exponential backoff + jitter), ``slow_factor`` (per-transfer rate
+caps modelling an overloaded server), and ``corrupt_rate`` (served payloads
+that fail the client's checksum validation, forcing a re-download).
 """
 
 from __future__ import annotations
 
 import typing as _t
+
+import numpy as np
 
 from ..net import Flow, Host, Network
 from ..sim import Simulator, Tracer
@@ -19,6 +27,18 @@ from .model import FileRef
 
 class FileMissing(KeyError):
     """A client asked for a file the data server does not hold."""
+
+
+class ServerUnavailable(RuntimeError):
+    """503-style refusal: the service is down or shedding load; retry later."""
+
+    def __init__(self, what: str, retry_after_s: float = 0.0) -> None:
+        super().__init__(what)
+        self.retry_after_s = retry_after_s
+
+
+class ChecksumMismatch(RuntimeError):
+    """A downloaded file failed checksum validation (corrupt transfer)."""
 
 
 class DataServer:
@@ -33,6 +53,18 @@ class DataServer:
         self.files: dict[str, FileRef] = {}
         self.bytes_served = 0.0
         self.bytes_received = 0.0
+        #: Fault injection: False makes every request a 503-style refusal.
+        self.available = True
+        #: Fault injection: < 1 caps each transfer to this fraction of the
+        #: server access-link capacity (overload / throttling).
+        self.slow_factor = 1.0
+        #: Fault injection: probability a served download arrives corrupt
+        #: (``corrupt_rng`` draws the dice; rate 1 needs no rng).
+        self.corrupt_rate = 0.0
+        self.corrupt_rng: np.random.Generator | None = None
+        #: Diagnostics.
+        self.refusals = 0
+        self.corrupt_serves = 0
 
     # -- catalogue ------------------------------------------------------------
     def publish(self, ref: FileRef) -> None:
@@ -45,14 +77,44 @@ class DataServer:
     def unpublish(self, name: str) -> None:
         self.files.pop(name, None)
 
+    # -- fault hooks ----------------------------------------------------------
+    def _refuse(self, op: str, name: str, peer: Host) -> None:
+        self.refusals += 1
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, "dataserver.refused", op=op,
+                               file=name, host=peer.name)
+        raise ServerUnavailable(f"data server refused {op} of {name!r}")
+
+    def _rate_cap(self) -> float | None:
+        if self.slow_factor >= 1.0:
+            return None
+        return max(self.slow_factor, 1e-6) * self.host.uplink.capacity
+
+    def _maybe_corrupt(self, flow: Flow, name: str, to: Host) -> None:
+        if self.corrupt_rate <= 0:
+            return
+        hit = (self.corrupt_rate >= 1.0
+               or (self.corrupt_rng is not None
+                   and self.corrupt_rng.random() < self.corrupt_rate))
+        if hit:
+            flow.corrupted = True
+            self.corrupt_serves += 1
+            if self.tracer is not None:
+                self.tracer.record(self.sim.now, "dataserver.corrupt_serve",
+                                   file=name, to=to.name)
+
     # -- transfers ------------------------------------------------------------
     def download(self, name: str, to: Host) -> Flow:
         """Start an HTTP download of file *name* to host *to*."""
+        if not self.available:
+            self._refuse("download", name, to)
         ref = self.files.get(name)
         if ref is None:
             raise FileMissing(name)
         flow = self.net.transfer(self.host, to, ref.size,
-                                 label=f"http:{name}->{to.name}")
+                                 label=f"http:{name}->{to.name}",
+                                 max_rate=self._rate_cap())
+        self._maybe_corrupt(flow, name, to)
         self.bytes_served += ref.size
         if self.tracer is not None:
             self.tracer.record(self.sim.now, "dataserver.download",
@@ -70,9 +132,12 @@ class DataServer:
         III.D: "optimizes bandwidth consumption by proactively detecting
         congestion ... optimized to support background transfers").
         """
+        if not self.available:
+            self._refuse("upload", ref.name, frm)
         flow = self.net.transfer(frm, self.host, ref.size,
                                  label=f"http:{frm.name}->{ref.name}",
-                                 background=background)
+                                 background=background,
+                                 max_rate=self._rate_cap())
 
         def _complete(ev) -> None:
             if ev.exception is not None:

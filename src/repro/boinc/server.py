@@ -26,7 +26,7 @@ from ..sim import Simulator, Tracer, jittered
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from ..obs.metrics import MetricsRegistry
-from .dataserver import DataServer
+from .dataserver import DataServer, ServerUnavailable
 from .model import (
     Database,
     HostRecord,
@@ -168,6 +168,14 @@ class ProjectServer:
         #: Invoked when a workunit is abandoned after too many errors.
         self.on_wu_error: _t.Callable[[Workunit], None] | None = None
         self._daemons_started = False
+        #: Fault injection: False refuses every scheduler RPC (server down).
+        self.available = True
+        self._daemon_procs: dict[str, _t.Any] = {}
+        #: Fault injection: daemon name -> sim time until which its passes
+        #: are skipped (the process stays alive, it just does no work —
+        #: a hung MySQL query, not a dead daemon).
+        self._stalled_until: dict[str, float] = {}
+        self.crashes = 0
 
     # -- lifecycle ---------------------------------------------------------------
     def start_daemons(self) -> None:
@@ -176,22 +184,58 @@ class ProjectServer:
             raise RuntimeError("daemons already started")
         self._daemons_started = True
         cfg = self.config
-        self.sim.process(self._poll_loop(self._feeder_pass, cfg.feeder_period_s),
-                         name="feeder")
-        self.sim.process(self._poll_loop(self._transitioner_pass,
-                                         cfg.transitioner_period_s),
-                         name="transitioner")
-        self.sim.process(self._poll_loop(self._validator_pass,
-                                         cfg.validator_period_s),
-                         name="validator")
-        self.sim.process(self._poll_loop(self._assimilator_pass,
-                                         cfg.assimilator_period_s),
-                         name="assimilator")
+        for name, fn, period in (
+            ("feeder", self._feeder_pass, cfg.feeder_period_s),
+            ("transitioner", self._transitioner_pass, cfg.transitioner_period_s),
+            ("validator", self._validator_pass, cfg.validator_period_s),
+            ("assimilator", self._assimilator_pass, cfg.assimilator_period_s),
+        ):
+            self._daemon_procs[name] = self.sim.process(
+                self._poll_loop(name, fn, period), name=name)
 
-    def _poll_loop(self, fn: _t.Callable[[], None], period: float) -> _t.Generator:
+    def _poll_loop(self, name: str, fn: _t.Callable[[], None],
+                   period: float) -> _t.Generator:
         while True:
-            fn()
+            if self.sim.now >= self._stalled_until.get(name, 0.0):
+                fn()
             yield period
+
+    # -- fault hooks ----------------------------------------------------------
+    def stall_daemon(self, name: str, duration: float) -> None:
+        """Make daemon *name* skip its passes for *duration* seconds."""
+        if name not in self._daemon_procs:
+            raise KeyError(f"no such daemon {name!r}")
+        self._stalled_until[name] = self.sim.now + duration
+        self.tracer.record(self.sim.now, "server.daemon_stalled", daemon=name,
+                           duration=duration)
+
+    def crash(self) -> None:
+        """Hard-stop the server: refuse RPCs, kill daemons, drop the feeder
+        cache (shared memory is gone).  The database survives — BOINC state
+        is durable in MySQL — so :meth:`restore` resumes where it left off.
+        """
+        if not self.available:
+            return
+        self.available = False
+        self.dataserver.available = False
+        self.crashes += 1
+        for proc in self._daemon_procs.values():
+            if proc.alive:
+                proc.interrupt("server crash")
+        self._daemon_procs.clear()
+        self._stalled_until.clear()
+        self._daemons_started = False
+        self._feeder_visible = set()
+        self.tracer.record(self.sim.now, "server.crash")
+
+    def restore(self) -> None:
+        """Bring a crashed server back: daemons restart, RPCs accepted."""
+        if self.available:
+            return
+        self.available = True
+        self.dataserver.available = True
+        self.start_daemons()
+        self.tracer.record(self.sim.now, "server.restore")
 
     # -- work submission ------------------------------------------------------------
     def submit_workunit(self, wu: Workunit, publish_inputs: bool = True) -> Workunit:
@@ -227,17 +271,28 @@ class ProjectServer:
 
     # -- scheduler RPC ------------------------------------------------------------
     def scheduler_rpc(self, request: SchedulerRequest) -> _t.Generator:
-        """Process body handling one scheduler RPC; returns a SchedulerReply."""
+        """Process body handling one scheduler RPC; returns a SchedulerReply.
+
+        Raises :class:`ServerUnavailable` when the server is down (crash
+        fault) — the client retries with the paper's exponential backoff.
+        """
+        if not self.available:
+            if self.metrics is not None:
+                self.metrics.counter("sched.refused_total").inc()
+            raise ServerUnavailable("scheduler is down")
         grant = self._rpc_slots.acquire()
-        yield grant
         try:
+            yield grant
+            # A crash may land while this RPC is queued for a slot.
+            if not self.available:
+                raise ServerUnavailable("scheduler crashed mid-request")
             delay = self.config.rpc_process_s
             if self.rng is not None:
                 delay = jittered(self.rng, delay, 0.2)
             yield self.sim.timeout(delay)
             return self._handle_rpc_now(request)
         finally:
-            self._rpc_slots.release()
+            self._rpc_slots.settle(grant)
 
     def _handle_rpc_now(self, request: SchedulerRequest) -> SchedulerReply:
         host = self.db.hosts[request.host_id]

@@ -80,8 +80,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
                                     reduce_from_peers=False))
     cloud = VolunteerCloud(seed=args.seed, mr_config=mr_config)
     cloud.add_volunteers(args.nodes, mr=args.mr)
-    if args.trace_out:
+    if args.trace_out or args.faults:
         cloud.attach_observability(spans=True, probes=False)
+    if args.faults:
+        injector = cloud.apply_faults(args.faults)
     job = cloud.run_job(MapReduceJobSpec(
         "job", n_maps=args.maps, n_reducers=args.reducers,
         input_size=args.input_gb * 1e9))
@@ -102,7 +104,81 @@ def _cmd_run(args: argparse.Namespace) -> int:
         leaked = len(builder.leaked) if builder is not None else 0
         print(f"wrote {args.trace_format} trace to {args.trace_out} "
               f"({len(cloud.tracer)} records, {leaked} leaked spans)")
+    if args.faults:
+        report = cloud.audit(job)
+        print(f"faults injected: {len(injector.events)} "
+              f"(plan {injector.plan_name!r})")
+        print(report.render())
+        if not report.ok:
+            return 1
     return 0
+
+
+def _render_fault_log(injector: _t.Any) -> str:
+    lines = [f"plan {injector.plan_name!r}: "
+             f"{len(injector.events)} fault(s) injected"]
+    for ev in injector.events:
+        lines.append(f"  {ev['fault']:>4s}  {ev['kind']:18s} "
+                     f"t={ev['begin']:7.1f}..{ev['end']:7.1f}  {ev['target']}")
+    return "\n".join(lines)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from .core import MapReduceJobSpec, VolunteerCloud
+    from .faults import BUILTIN_PLANS, resolve_plan
+    from .obs import chrome_trace_json
+
+    if args.list_plans:
+        for name in sorted(BUILTIN_PLANS):
+            plan = BUILTIN_PLANS[name]
+            print(f"{name:22s} {len(plan.faults):2d} faults  "
+                  f"{plan.description}")
+        return 0
+    if args.plan is None:
+        print("chaos: a plan name or TOML path is required "
+              "(or --list-plans)", file=sys.stderr)
+        return 2
+    plan = resolve_plan(args.plan)
+    cloud = VolunteerCloud(seed=args.seed)
+    cloud.add_volunteers(args.nodes, mr=True)
+    cloud.attach_observability(spans=True, probes=False)
+    injector = cloud.apply_faults(plan)
+    job = cloud.submit(MapReduceJobSpec(
+        "chaos", n_maps=args.maps, n_reducers=args.reducers,
+        input_size=args.input_gb * 1e9))
+    diagnosis = None
+    try:
+        cloud.run_until(job.done)
+    except Exception as exc:  # noqa: BLE001 — any failure becomes a diagnosis
+        diagnosis = f"{type(exc).__name__}: {exc}"
+    report = cloud.audit(job)
+    builder = cloud.finish_observability()
+    print(_render_fault_log(injector))
+    if diagnosis is None:
+        print(f"job finished at t={job.finished_at:g}s")
+    else:
+        print(f"job failed with diagnosis: {diagnosis}")
+    print(report.render())
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            fh.write(chrome_trace_json(builder))
+        print(f"wrote chrome trace to {args.trace_out}")
+    if args.summary_out:
+        summary = {
+            "plan": injector.plan_name,
+            "seed": args.seed,
+            "faults": injector.events,
+            "job_done": diagnosis is None,
+            "diagnosis": diagnosis,
+            "audit": report.to_dict(),
+        }
+        with open(args.summary_out, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote run summary to {args.summary_out}")
+    return 0 if report.ok else 1
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -141,37 +217,63 @@ def _cmd_wordcount(args: argparse.Namespace) -> int:
     return 0
 
 
+def _seed_type(text: str) -> int:
+    """Validate a ``--seed`` value: a non-negative integer."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"seed must be an integer, got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"seed must be >= 0, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="BOINC-MR reproduction: regenerate the paper's tables, "
                     "figures, and extension studies.")
-    parser.add_argument("--seed", type=int, default=1,
+    parser.add_argument("--seed", type=_seed_type, default=1,
                         help="experiment seed (default 1)")
+    # Every subcommand also accepts --seed after the command name; a value
+    # there overrides the global one (SUPPRESS keeps the global default).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=_seed_type, default=argparse.SUPPRESS,
+                        help="experiment seed (overrides the global --seed)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("table1", help="Table I: word-count makespan grid")
+    sub.add_parser("table1", parents=[common],
+                   help="Table I: word-count makespan grid")
 
-    p = sub.add_parser("fig4", help="Fig. 4: backoff straggler timeline")
+    p = sub.add_parser("fig4", parents=[common],
+                       help="Fig. 4: backoff straggler timeline")
     p.add_argument("--width", type=int, default=64)
 
-    sub.add_parser("ablations", help="Section IV.C mitigations")
-    sub.add_parser("nat", help="Section III.D NAT traversal ladder")
+    sub.add_parser("ablations", parents=[common],
+                   help="Section IV.C mitigations")
+    sub.add_parser("nat", parents=[common],
+                   help="Section III.D NAT traversal ladder")
 
-    p = sub.add_parser("churn", help="volunteer churn study")
+    p = sub.add_parser("churn", parents=[common], help="volunteer churn study")
     p.add_argument("--mean-on", type=float, default=1800.0)
     p.add_argument("--mean-off", type=float, default=600.0)
     p.add_argument("--departures", type=float, default=0.05)
 
-    sub.add_parser("planetlab", help="LAN vs Internet deployment study")
+    sub.add_parser("planetlab", parents=[common],
+                   help="LAN vs Internet deployment study")
 
-    p = sub.add_parser("run", help="run one simulated MapReduce job")
+    p = sub.add_parser("run", parents=[common],
+                       help="run one simulated MapReduce job")
     p.add_argument("--nodes", type=int, default=20)
     p.add_argument("--maps", type=int, default=20)
     p.add_argument("--reducers", type=int, default=5)
     p.add_argument("--input-gb", type=float, default=1.0)
     p.add_argument("--mr", action="store_true",
                    help="use BOINC-MR clients (default: original BOINC)")
+    p.add_argument("--faults", metavar="PLAN", default=None,
+                   help="inject a chaos plan (builtin name or TOML path) "
+                        "and audit the run afterwards")
     p.add_argument("--trace-out", metavar="FILE", default=None,
                    help="write the run's trace to FILE")
     p.add_argument("--trace-format", choices=("chrome", "jsonl", "csv"),
@@ -180,7 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default), jsonl = raw records, csv = flat table")
 
     p = sub.add_parser(
-        "metrics",
+        "metrics", parents=[common],
         help="word-count run with the full observability stack, then the "
              "metrics/self-profile summary")
     p.add_argument("--nodes", type=int, default=20)
@@ -190,10 +292,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sample-period", type=float, default=30.0,
                    help="gauge sampling cadence in sim seconds")
 
-    p = sub.add_parser("wordcount", help="run REAL word count on real bytes")
+    p = sub.add_parser("wordcount", parents=[common],
+                       help="run REAL word count on real bytes")
     p.add_argument("--size-mb", type=float, default=2.0)
     p.add_argument("--maps", type=int, default=8)
     p.add_argument("--reducers", type=int, default=4)
+
+    p = sub.add_parser(
+        "chaos", parents=[common],
+        help="run a MapReduce job under a chaos plan, then audit the "
+             "end state with RunAuditor")
+    p.add_argument("plan", nargs="?", default=None,
+                   help="builtin plan name or TOML file path "
+                        "(see --list-plans)")
+    p.add_argument("--list-plans", action="store_true",
+                   help="list the bundled chaos plans and exit")
+    p.add_argument("--nodes", type=int, default=12)
+    p.add_argument("--maps", type=int, default=12)
+    p.add_argument("--reducers", type=int, default=3)
+    p.add_argument("--input-gb", type=float, default=0.5)
+    p.add_argument("--trace-out", metavar="FILE", default=None,
+                   help="write the chrome trace (fault spans included)")
+    p.add_argument("--summary-out", metavar="FILE", default=None,
+                   help="write a JSON run summary (faults + audit report)")
 
     return parser
 
@@ -208,6 +329,7 @@ _COMMANDS: dict[str, _t.Callable[[argparse.Namespace], int]] = {
     "run": _cmd_run,
     "metrics": _cmd_metrics,
     "wordcount": _cmd_wordcount,
+    "chaos": _cmd_chaos,
 }
 
 

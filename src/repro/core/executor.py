@@ -62,7 +62,13 @@ class MapReduceExecutor:
             raise ValueError(f"unknown MapReduce kind {wu.mr_kind!r}")
         if self.platform_variance and client.record.hr_class:
             digest = f"{digest}@{client.record.hr_class}"
-        if self.byzantine_rate > 0 and self.rng.random() < self.byzantine_rate:
+        if getattr(client, "corrupt_results", False):
+            # Deterministic byzantine fault on this host: corrupt every
+            # execution without touching the rng, so the draw sequence of
+            # a fault-free run is left intact (trace determinism).
+            self._corruptions += 1
+            digest = f"corrupt:{client.name}:{self._corruptions}:{digest}"
+        elif self.byzantine_rate > 0 and self.rng.random() < self.byzantine_rate:
             self._corruptions += 1
             digest = f"corrupt:{client.name}:{self._corruptions}:{digest}"
         return OutputData(digest=digest, files=files)

@@ -38,6 +38,7 @@ class PeerStore:
         self.serve_timeout_s = serve_timeout_s
         self._files: dict[str, ServedFile] = {}
         self.bytes_served = 0.0
+        self.evictions = 0
 
     # -- mapper side -------------------------------------------------------------
     def serve(self, ref: FileRef, job: str) -> None:
@@ -64,6 +65,18 @@ class PeerStore:
                 entry.expires_at = self.sim.now + self.serve_timeout_s
                 n += 1
         return n
+
+    def evict(self, name: str) -> bool:
+        """Withdraw a file that served corrupt data (checksum mismatch).
+
+        Downloaders stop considering this copy; the reducer falls back to
+        another holder or the data server.  Returns False when the file
+        was not being served (already evicted by a concurrent downloader).
+        """
+        if self._files.pop(name, None) is None:
+            return False
+        self.evictions += 1
+        return True
 
     def stop_job(self, job: str) -> int:
         """Withdraw all files of a finished job; returns how many."""

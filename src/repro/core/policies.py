@@ -18,7 +18,13 @@ import typing as _t
 
 import numpy as np
 
-from ..boinc.client import Client, ClientTask, ServerInputFetcher, ServerUploadPolicy
+from ..boinc.client import (
+    Client,
+    ClientTask,
+    ServerInputFetcher,
+    ServerUploadPolicy,
+    download_with_retry,
+)
 from ..net import ConnectivityPolicy, Host, TransferFailed, peer_download
 from .config import BoincMRConfig
 from .interclient import PeerStore
@@ -114,8 +120,17 @@ class MapReduceInputFetcher:
                 self._fetch_partition(client, name, spec.map_output_size(),
                                       holders),
                 name=f"fetch:{client.name}:{name}"))
-        if procs:
+        if not procs:
+            return
+        try:
             yield client.sim.all_of(procs)
+        finally:
+            # A churn kill of the reduce task must cascade: partition
+            # fetches (and their nested peer downloads) may not keep
+            # pulling bytes for a task that no longer exists.
+            for proc in procs:
+                if proc.alive:
+                    proc.interrupt("reduce fetch cancelled")
 
     def _fetch_partition(self, client: Client, filename: str, size: float,
                          holders: _t.Sequence[str]) -> _t.Generator:
@@ -152,28 +167,46 @@ class MapReduceInputFetcher:
                     relay = self.relay_selector(client.host, mapper.host)
                 except Exception:  # noqa: BLE001 - overlay empty: keep default
                     relay = self.relay
+            ref = store.get(filename)
+            dl = sim.process(peer_download(
+                sim, client.net, self.connectivity,
+                src=mapper.endpoint, dst=client.endpoint,
+                size=ref.size, relay=relay,
+                failure_rate=self.config.peer_failure_rate,
+                rng=self.rng,
+                label=f"mr:{filename}->{client.name}"),
+                name=f"peerdl:{client.name}:{filename}")
             try:
-                ref = store.get(filename)
-                record = yield sim.process(peer_download(
-                    sim, client.net, self.connectivity,
-                    src=mapper.endpoint, dst=client.endpoint,
-                    size=ref.size, relay=relay,
-                    failure_rate=self.config.peer_failure_rate,
-                    rng=self.rng,
-                    label=f"mr:{filename}->{client.name}"))
-                self.peer_fetches += 1
-                client.tracer.record(sim.now, "peer.fetched",
-                                     host=client.name, frm=mapper.name,
-                                     file=filename,
-                                     duration=record.duration,
-                                     method=record.method.value)
-                return record
+                record = yield dl
             except TransferFailed as exc:
                 attempts += 1
                 client.tracer.record(sim.now, "peer.fetch_failed",
                                      host=client.name, frm=mapper.name,
                                      file=filename, reason=exc.reason,
                                      attempt=attempts)
+                continue
+            finally:
+                if dl.alive:
+                    dl.interrupt("partition fetch cancelled")
+            if record.corrupted:
+                # Byzantine serve: the payload fails checksum validation.
+                # Evict the poisoned copy so no reducer tries it again,
+                # and move on to the next holder (or the server).
+                attempts += 1
+                store.evict(filename)
+                if client.metrics is not None:
+                    client.metrics.counter("peer.evictions_total").inc()
+                client.tracer.record(sim.now, "peer.corrupt",
+                                     host=client.name, frm=mapper.name,
+                                     file=filename, attempt=attempts)
+                continue
+            self.peer_fetches += 1
+            client.tracer.record(sim.now, "peer.fetched",
+                                 host=client.name, frm=mapper.name,
+                                 file=filename,
+                                 duration=record.duration,
+                                 method=record.method.value)
+            return record
         # Fallback: download from the project data server (only possible
         # when map outputs were uploaded there).  With early reduce
         # creation (reduce_creation_fraction < 1) the file may simply not
@@ -186,8 +219,9 @@ class MapReduceInputFetcher:
                 client.tracer.record(sim.now, "peer.fallback_server",
                                      host=client.name, file=filename,
                                      polls=polls)
-                flow = client.server.dataserver.download(filename, client.host)
-                yield flow.done
+                # Retry-with-backoff: survives data-server outages, slow
+                # mode, and corrupt transfers (checksum re-download).
+                yield from download_with_retry(client, filename)
                 return None
             if self.config.reduce_creation_fraction >= 1.0:
                 break  # nothing will ever appear; fail fast

@@ -37,6 +37,10 @@ from .job import MapReduceJob, MapReduceJobSpec
 from .jobtracker import JobTracker
 from .policies import ClientDirectory, MapReduceInputFetcher, MapReduceOutputPolicy
 
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..faults import AuditReport, FaultInjector
+    from ..net.supernode import SupernodeOverlay
+
 
 class VolunteerCloud:
     """A complete simulated BOINC-MR deployment."""
@@ -165,6 +169,32 @@ class VolunteerCloud:
         if self.span_builder is not None:
             self.span_builder.finish(self.sim.now)
         return self.span_builder
+
+    # -- fault injection ---------------------------------------------------------
+    def apply_faults(self, plan: _t.Any) -> "FaultInjector":
+        """Arm a chaos plan (name, TOML path, ChaosPlan, or FaultSpec list).
+
+        Faults draw from the dedicated ``"faults"`` rng stream, so armed
+        plans never perturb the draw sequences of the model itself: the
+        same seed + the same plan reproduces the same run byte for byte.
+        """
+        from ..faults import FaultInjector, resolve_plan
+
+        if isinstance(plan, str):
+            plan = resolve_plan(plan)
+        injector = FaultInjector(self, plan)
+        return injector.arm()
+
+    def audit(self, job: "MapReduceJob | None" = None,
+              settle: bool = True) -> "AuditReport":
+        """Post-run invariant sweep; see :class:`repro.faults.RunAuditor`."""
+        from ..faults import RunAuditor
+
+        auditor = RunAuditor(self)
+        if settle:
+            auditor.settle()
+            auditor.drain()
+        return auditor.audit(job)
 
     # -- jobs --------------------------------------------------------------------
     def submit(self, spec: MapReduceJobSpec) -> MapReduceJob:

@@ -1,0 +1,38 @@
+"""Deterministic fault injection and post-run consistency auditing.
+
+Public surface:
+
+- :class:`FaultSpec` / :data:`FAULT_KINDS` — declarative fault rows;
+- :class:`FaultInjector` — schedules and applies a plan to a cloud;
+- :class:`ChaosPlan`, :data:`BUILTIN_PLANS`, :func:`load_plan`,
+  :func:`resolve_plan` — named chaos plans (builtin or TOML files);
+- :class:`RunAuditor`, :class:`AuditReport`, :class:`Violation` —
+  end-state invariant checking.
+
+Typical use::
+
+    cloud = VolunteerCloud(seed=7)
+    cloud.add_volunteers(12, mr=True)
+    cloud.apply_faults("kitchen-sink")
+    job = cloud.run_job(spec)
+    report = cloud.audit(job)
+    assert report.ok, report.render()
+"""
+
+from .audit import AuditReport, RunAuditor, Violation
+from .injector import FaultInjector
+from .plans import BUILTIN_PLANS, ChaosPlan, load_plan, resolve_plan
+from .spec import FAULT_KINDS, FaultSpec
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultInjector",
+    "ChaosPlan",
+    "BUILTIN_PLANS",
+    "load_plan",
+    "resolve_plan",
+    "RunAuditor",
+    "AuditReport",
+    "Violation",
+]

@@ -1,0 +1,159 @@
+"""Named chaos plans: curated fault schedules that ship with the repo.
+
+A :class:`ChaosPlan` is an ordered set of :class:`FaultSpec`s.  The
+bundled plans each stress one recovery mechanism the paper's design
+claims (peer retry + server fallback, deadline timeouts + replica top-up,
+exponential backoff against a dead server, quorum validation against
+byzantine hosts); ``kitchen-sink`` layers them all.  Plans can also be
+loaded from TOML files::
+
+    name = "my-plan"
+
+    [[fault]]
+    kind = "dataserver_outage"
+    at = 60.0
+    duration = 300.0
+
+    [[fault]]
+    kind = "straggler"
+    at = 120.0
+    duration = 900.0
+    target = "random:2"
+    factor = 6.0
+
+Times are simulated seconds from run start; unknown keys on a row become
+the fault's kind-specific params.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import tomllib
+import typing as _t
+
+from .spec import FaultSpec
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ChaosPlan:
+    """An ordered, named collection of faults."""
+
+    name: str
+    description: str
+    faults: tuple[FaultSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.faults:
+            raise ValueError(f"chaos plan {self.name!r} has no faults")
+
+
+def _plan(name: str, description: str,
+          rows: _t.Sequence[dict[str, _t.Any]]) -> ChaosPlan:
+    return ChaosPlan(name=name, description=description,
+                     faults=tuple(FaultSpec.from_dict(r) for r in rows))
+
+
+BUILTIN_PLANS: dict[str, ChaosPlan] = {p.name: p for p in (
+    _plan("flaky-network",
+          "Volunteer links flap and degrade mid-job; peer retry and "
+          "transfer re-starts must carry the shuffle through.",
+          [
+              {"kind": "link_flap", "at": 150.0, "duration": 200.0,
+               "target": "random:2"},
+              {"kind": "bandwidth", "at": 500.0, "duration": 600.0,
+               "target": "random:3", "factor": 0.2},
+              {"kind": "link_flap", "at": 900.0, "duration": 150.0,
+               "target": "random"},
+          ]),
+    _plan("split-brain",
+          "Network partitions cut islands of volunteers off from the "
+          "server and each other; deadline timeouts and replicas recover "
+          "the stranded work.",
+          [
+              {"kind": "partition", "at": 200.0, "duration": 500.0,
+               "isolate": 3},
+              {"kind": "partition", "at": 1000.0, "duration": 300.0,
+               "isolate": 2},
+          ]),
+    _plan("dataserver-degraded",
+          "The project data server corrupts, refuses, and throttles "
+          "transfers — timed to hit the initial input distribution, the "
+          "replica top-up, and the reduce phase; clients must retry with "
+          "backoff and re-download on checksum failure.",
+          [
+              {"kind": "transfer_corrupt", "at": 3.0, "duration": 30.0,
+               "rate": 1.0},
+              {"kind": "dataserver_outage", "at": 40.0, "duration": 120.0},
+              {"kind": "dataserver_slow", "at": 600.0, "duration": 600.0,
+               "factor": 0.15},
+          ]),
+    _plan("server-chaos",
+          "Server daemons hang and the whole project crashes and "
+          "restarts; clients poll through the outage with exponential "
+          "backoff and nothing is lost (state is in the database).",
+          [
+              {"kind": "daemon_stall", "at": 120.0, "duration": 300.0,
+               "daemon": "transitioner"},
+              {"kind": "server_crash", "at": 600.0, "duration": 300.0},
+              {"kind": "daemon_stall", "at": 1200.0, "duration": 200.0,
+               "daemon": "validator"},
+          ]),
+    _plan("bad-volunteers",
+          "Stragglers, byzantine hosts, and corrupt peer serves; quorum "
+          "validation, replica top-up, and peer-store eviction must keep "
+          "the output honest.",
+          [
+              {"kind": "straggler", "at": 60.0, "duration": 1500.0,
+               "target": "random:2", "factor": 6.0},
+              {"kind": "byzantine", "at": 60.0, "duration": 1200.0,
+               "target": "random:2"},
+              {"kind": "peer_corrupt", "at": 300.0, "duration": 600.0,
+               "target": "random"},
+          ]),
+    _plan("kitchen-sink",
+          "Every fault class in one run: the full failure surface the "
+          "paper's design defends against, injected deterministically.",
+          [
+              {"kind": "straggler", "at": 60.0, "duration": 1200.0,
+               "target": "random", "factor": 5.0},
+              {"kind": "link_flap", "at": 150.0, "duration": 200.0,
+               "target": "random:2"},
+              {"kind": "dataserver_outage", "at": 300.0, "duration": 240.0},
+              {"kind": "byzantine", "at": 400.0, "duration": 900.0,
+               "target": "random"},
+              {"kind": "partition", "at": 700.0, "duration": 300.0,
+               "isolate": 2},
+              {"kind": "daemon_stall", "at": 900.0, "duration": 240.0,
+               "daemon": "validator"},
+              {"kind": "server_crash", "at": 1300.0, "duration": 240.0},
+              {"kind": "bandwidth", "at": 1700.0, "duration": 400.0,
+               "target": "random:2", "factor": 0.25},
+          ]),
+)}
+
+
+def load_plan(path: str | pathlib.Path) -> ChaosPlan:
+    """Load a chaos plan from a TOML file (``[[fault]]`` rows)."""
+    p = pathlib.Path(path)
+    with p.open("rb") as fh:
+        doc = tomllib.load(fh)
+    rows = doc.get("fault", [])
+    if not isinstance(rows, list) or not rows:
+        raise ValueError(f"{p}: no [[fault]] tables found")
+    return ChaosPlan(
+        name=str(doc.get("name", p.stem)),
+        description=str(doc.get("description", f"loaded from {p}")),
+        faults=tuple(FaultSpec.from_dict(row) for row in rows))
+
+
+def resolve_plan(ref: str) -> ChaosPlan:
+    """Resolve a plan reference: a builtin name or a TOML file path."""
+    if ref in BUILTIN_PLANS:
+        return BUILTIN_PLANS[ref]
+    p = pathlib.Path(ref)
+    if p.exists():
+        return load_plan(p)
+    raise ValueError(
+        f"unknown chaos plan {ref!r}: not a builtin "
+        f"({', '.join(sorted(BUILTIN_PLANS))}) and no such file")

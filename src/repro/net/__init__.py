@@ -38,6 +38,7 @@ from .topology import (
     HostOffline,
     LinkSpec,
     Network,
+    NetworkPartitioned,
 )
 from .transfer import (
     SimSemaphore,
@@ -56,6 +57,7 @@ __all__ = [
     "Network",
     "Host",
     "HostOffline",
+    "NetworkPartitioned",
     "LinkSpec",
     "EMULAB_LINK",
     "ADSL_LINK",

@@ -70,6 +70,7 @@ class Flow:
     __slots__ = (
         "name", "links", "size", "remaining", "rate", "max_rate",
         "background", "done", "started_at", "finished_at", "aborted",
+        "corrupted",
     )
 
     def __init__(self, sim: Simulator, name: str, links: _t.Sequence[Link],
@@ -91,6 +92,9 @@ class Flow:
         self.started_at = sim.now
         self.finished_at: float | None = None
         self.aborted = False
+        #: Fault injection: the payload arrives corrupt; the receiver's
+        #: checksum validation must reject it and re-download.
+        self.corrupted = False
 
     @property
     def finished(self) -> bool:
@@ -215,6 +219,15 @@ class FlowNetwork:
             self.tracer.record(self.sim.now, "flow.abort", flow=flow.name,
                                reason=reason, transferred=flow.size - flow.remaining)
         flow.done.fail(FlowError(f"flow {flow.name}: {reason}"))
+        self._recompute()
+
+    def recompute(self) -> None:
+        """Re-run rate allocation after an external capacity change.
+
+        Call after mutating a :class:`Link` capacity (e.g. fault-injected
+        bandwidth degradation) so progress up to now is accounted at the
+        old rates and every active flow gets a fresh allocation.
+        """
         self._recompute()
 
     def utilisation(self, link: Link) -> float:

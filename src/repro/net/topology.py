@@ -74,6 +74,15 @@ class HostOffline(RuntimeError):
     """A transfer was attempted to or from an offline host."""
 
 
+class NetworkPartitioned(HostOffline):
+    """A transfer was attempted across an active network partition.
+
+    Subclasses :class:`HostOffline` so every existing retry/fallback path
+    treats a partition exactly like the endpoint being unreachable — which
+    is what it looks like from either side.
+    """
+
+
 class Network:
     """Facade over :class:`FlowNetwork` exposing host-to-host transfers."""
 
@@ -83,6 +92,9 @@ class Network:
         self.tracer = tracer
         self.flownet = FlowNetwork(sim, tracer=tracer, metrics=metrics)
         self.hosts: dict[str, Host] = {}
+        #: Active partition: host name -> group id.  Hosts not listed form
+        #: an implicit group of their own.  ``None`` = no partition.
+        self._partition: dict[str, int] | None = None
 
     # -- construction -----------------------------------------------------------
     def add_host(self, name: str, spec: LinkSpec = EMULAB_LINK,
@@ -121,6 +133,10 @@ class Network:
             raise HostOffline(f"source host {src.name} is offline")
         if not dst.online:
             raise HostOffline(f"destination host {dst.name} is offline")
+        if not self.reachable(src, dst):
+            raise NetworkPartitioned(
+                f"{src.name} and {dst.name} are on opposite sides of a "
+                "network partition")
         name = label or f"{src.name}->{dst.name}"
         links = [src.uplink, dst.downlink, *extra_links]
         return self.flownet.start_flow(name, links, size_bytes,
@@ -143,6 +159,49 @@ class Network:
             self.drop_host_flows(host)
         else:
             host.online = online
+
+    # -- partitions ----------------------------------------------------------------
+    def flow_hosts(self, flow: Flow) -> list[Host]:
+        """Every registered host whose access link *flow* traverses."""
+        return [h for h in self.hosts.values()
+                if h.uplink in flow.links or h.downlink in flow.links]
+
+    def reachable(self, a: Host, b: Host) -> bool:
+        """Can *a* and *b* currently exchange traffic (partition-wise)?"""
+        if self._partition is None:
+            return True
+        return (self._partition.get(a.name, -1)
+                == self._partition.get(b.name, -1))
+
+    def set_partition(self, groups: _t.Sequence[_t.Sequence[str]]) -> int:
+        """Partition the network into *groups* of host names.
+
+        Hosts in different groups cannot start transfers to each other;
+        hosts not named in any group form one implicit group together (so
+        ``[["a", "b"]]`` isolates that island from the rest of the world).
+        Active flows crossing a boundary are aborted.  Returns how many
+        flows were dropped.  Replaces any previous partition.
+        """
+        mapping: dict[str, int] = {}
+        for gid, names in enumerate(groups):
+            for name in names:
+                if name not in self.hosts:
+                    raise ValueError(f"unknown host {name!r} in partition")
+                mapping[name] = gid
+        self._partition = mapping
+        victims = []
+        for flow in list(self.flownet.active):
+            touched = self.flow_hosts(flow)
+            sides = {mapping.get(h.name, -1) for h in touched}
+            if len(sides) > 1:
+                victims.append(flow)
+        for flow in victims:
+            self.flownet.abort_flow(flow, reason="network partition")
+        return len(victims)
+
+    def clear_partition(self) -> None:
+        """Heal the partition; all hosts can reach each other again."""
+        self._partition = None
 
     # -- convenience ----------------------------------------------------------------
     def transfer_and_wait(self, src: Host, dst: Host, size_bytes: float,

@@ -47,11 +47,17 @@ class SimSemaphore:
         self.name = name
         self.in_use = 0
         self._waiters: list[Event] = []
+        #: Accounting counters; ``granted_total - released_total == in_use``
+        #: is an invariant the :class:`repro.faults.RunAuditor` checks.
+        self.granted_total = 0
+        self.released_total = 0
+        self.cancelled_total = 0
 
     def acquire(self) -> Event:
         ev = self.sim.event(name=f"sem:{self.name}")
         if self.in_use < self.capacity:
             self.in_use += 1
+            self.granted_total += 1
             ev.trigger()
         else:
             self._waiters.append(ev)
@@ -60,11 +66,46 @@ class SimSemaphore:
     def release(self) -> None:
         if self.in_use <= 0:
             raise RuntimeError(f"semaphore {self.name!r} released below zero")
+        self.released_total += 1
         if self._waiters:
             # Hand the slot straight to the next waiter; in_use is unchanged.
+            self.granted_total += 1
             self._waiters.pop(0).trigger()
         else:
             self.in_use -= 1
+
+    def cancel(self, grant: Event) -> bool:
+        """Withdraw a still-queued ``acquire`` from the wait list.
+
+        Returns False when *grant* is not waiting (already granted, or
+        never issued by this semaphore) — the caller then owns a slot and
+        must :meth:`release` it instead.
+        """
+        try:
+            self._waiters.remove(grant)
+        except ValueError:
+            return False
+        self.cancelled_total += 1
+        return True
+
+    def settle(self, grant: Event) -> None:
+        """Unwind an ``acquire`` whatever state it reached.
+
+        The one safe call for a ``finally`` block: releases the slot when
+        *grant* was granted (even by a same-instant hand-off to a process
+        that was just interrupted) and withdraws it from the wait queue
+        when it never was — so a process killed between ``acquire`` and
+        the grant leaves no phantom waiter to swallow a future slot.
+        """
+        if grant.triggered:
+            self.release()
+        else:
+            self.cancel(grant)
+
+    @property
+    def balance(self) -> int:
+        """Slots granted and not yet released (must equal ``in_use``)."""
+        return self.granted_total - self.released_total
 
     @property
     def waiting(self) -> int:
@@ -81,6 +122,9 @@ class TransferEndpoint:
                                          name=f"{host.name}.up")
         self.download_slots = SimSemaphore(sim, max_download_conns,
                                            name=f"{host.name}.down")
+        #: Fault injection: while True, every payload served from this
+        #: endpoint arrives corrupt and fails the downloader's checksum.
+        self.corrupt_serves = False
 
 
 @dataclasses.dataclass(slots=True)
@@ -94,6 +138,9 @@ class TransferRecord:
     finished_at: float
     relayed: bool = False
     failure_reason: str | None = None
+    #: The serving endpoint corrupted the payload (fault injection); the
+    #: downloader's checksum validation will reject this copy.
+    corrupted: bool = False
 
     @property
     def duration(self) -> float:
@@ -134,6 +181,7 @@ def peer_download(
 
     up = src.upload_slots.acquire()
     down = dst.download_slots.acquire()
+    flow = None
     try:
         yield sim.all_of([up, down])
         rtt = net.rtt(src.host, dst.host)
@@ -161,26 +209,20 @@ def peer_download(
         except FlowError as exc:
             raise TransferFailed(str(exc), outcome) from exc
     finally:
-        # Slots are granted in FIFO order; if we were interrupted before the
-        # grant the event may still fire later, so release only granted slots
-        # and cancel pending ones.
-        _settle_slot(src.upload_slots, up)
-        _settle_slot(dst.download_slots, down)
+        # An interrupt (churn kill) can land at any yield above.  The flow
+        # must not keep consuming bandwidth unobserved, and the connection
+        # slots must come back whether the grants fired or are still queued.
+        if flow is not None and not flow.finished:
+            net.flownet.abort_flow(flow, reason="peer download cancelled")
+        src.upload_slots.settle(up)
+        dst.download_slots.settle(down)
 
     return TransferRecord(ok=True, method=outcome.method, size=size,
                           started_at=started, finished_at=sim.now,
-                          relayed=outcome.relayed)
+                          relayed=outcome.relayed,
+                          corrupted=getattr(src, "corrupt_serves", False))
 
 
 def _abort_if_running(net: Network, flow) -> None:
     if not flow.finished:
         net.flownet.abort_flow(flow, reason="injected transfer failure")
-
-
-def _settle_slot(sem: SimSemaphore, grant: Event) -> None:
-    """Release a granted slot, or arrange release for an in-flight grant."""
-    if grant.triggered:
-        sem.release()
-    else:
-        # Still queued: when the grant eventually fires, give it back.
-        grant.add_callback(lambda _ev: sem.release())

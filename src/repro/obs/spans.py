@@ -32,7 +32,7 @@ from ..sim import IntervalAccumulator, TraceRecord, Tracer
 HOST_TRACK = "host"
 #: Track names for the server-side daemons, in display order.
 DAEMON_TRACKS = ("scheduler", "feeder", "transitioner", "validator",
-                 "assimilator", "jobtracker", "dataserver")
+                 "assimilator", "jobtracker", "dataserver", "faults")
 
 #: Trace kinds routed to each daemon track (prefix match on ``kind.``).
 _DAEMON_PREFIXES: dict[str, str] = {
@@ -42,7 +42,9 @@ _DAEMON_PREFIXES: dict[str, str] = {
     "assimilator": "assimilator",
     "jobtracker": "jobtracker",
     "server": "dataserver",
+    "dataserver": "dataserver",
     "flow": "dataserver",
+    "fault": "faults",
 }
 
 
@@ -108,6 +110,7 @@ class SpanBuilder:
         self._results: dict[int, _ResultState] = {}
         self._result_intervals = IntervalAccumulator()
         self._rpc_open: dict[str, tuple[float, float]] = {}  # host -> (t, work_req)
+        self._fault_open: dict[_t.Any, TraceRecord] = {}  # fault id -> begin rec
         self._finished = False
         tracer.tap(self._on_record)
 
@@ -221,6 +224,49 @@ class SpanBuilder:
             track=f"{HOST_TRACK}:{rec['host']}", time=rec.time,
             category="backoff", args=dict(rec.fields)))
 
+    def _on_retry(self, rec: TraceRecord) -> None:
+        """Client recovery actions (download/upload/RPC retries) — instants
+        on the host track, so an injected outage on the faults track lines
+        up visually with the retries it caused."""
+        self.instants.append(Instant(
+            name=rec.kind.split(".", 1)[1].replace("_", "-"),
+            track=f"{HOST_TRACK}:{rec['host']}", time=rec.time,
+            category="retry", args=dict(rec.fields)))
+
+    def _on_timeout(self, rec: TraceRecord) -> None:
+        """Deadline timeout: the server gave up on this result — close its
+        span (the host will never report it; without this, every timed-out
+        result shows up as a leak)."""
+        rid = rec["result"]
+        st = self._results.pop(rid, None)
+        self._generic_instant(rec)
+        if st is None:
+            return
+        self._result_intervals.close(rid, rec.time)
+        span = self._build_result_span(st, end=rec.time, success=False)
+        span.args["outcome"] = "deadline-timeout"
+        self.spans.append(span)
+
+    # -- fault spans ------------------------------------------------------------
+    def _on_fault_begin(self, rec: TraceRecord) -> None:
+        self._fault_open[rec.get("fault")] = rec
+
+    def _on_fault_end(self, rec: TraceRecord) -> None:
+        begin = self._fault_open.pop(rec.get("fault"), None)
+        if begin is None:
+            return
+        self.spans.append(self._build_fault_span(begin, end=rec.time))
+
+    def _build_fault_span(self, begin: TraceRecord, end: float,
+                          leaked: bool = False) -> Span:
+        target = begin.get("target")
+        label = begin.get("kind", "fault")
+        if target:
+            label = f"{label}:{target}"
+        return Span(name=f"fault:{label}", track="daemon:faults",
+                    start=begin.time, end=end, category="fault",
+                    args=dict(begin.fields), leaked=leaked)
+
     _HANDLERS: dict[str, _t.Callable[["SpanBuilder", TraceRecord], None]] = {
         "sched.assign": _on_assign,
         "task.download_start": _on_download_start,
@@ -228,9 +274,15 @@ class SpanBuilder:
         "task.ready": _on_ready,
         "task.failed": _on_failed,
         "sched.report": _on_report,
+        "transitioner.timeout": _on_timeout,
         "client.rpc_start": _on_rpc_start,
         "client.rpc_done": _on_rpc_done,
         "client.backoff": _on_backoff,
+        "client.download_retry": _on_retry,
+        "client.upload_retry": _on_retry,
+        "client.rpc_failed": _on_retry,
+        "fault.begin": _on_fault_begin,
+        "fault.end": _on_fault_end,
     }
 
     # -- end of run -------------------------------------------------------------
@@ -254,12 +306,24 @@ class SpanBuilder:
             self.spans.append(span)
             self.leaked.append(span)
         self._rpc_open.clear()
+        # Faults still active at end-of-run (plan outlasted the job).
+        for _fid, begin in sorted(self._fault_open.items(),
+                                  key=lambda kv: str(kv[0])):
+            span = self._build_fault_span(begin, end=max(begin.time, now),
+                                          leaked=True)
+            self.spans.append(span)
+            self.leaked.append(span)
+        self._fault_open.clear()
         return self.leaked
 
     @property
     def open_count(self) -> int:
         """Result spans currently open (assigned, not yet reported)."""
         return self._result_intervals.open_count
+
+    def open_result_ids(self) -> list[int]:
+        """Result ids with an open span (for auditor cross-checks)."""
+        return sorted(self._results)
 
     def tracks(self) -> list[str]:
         """Every track referenced, hosts first then daemons, sorted."""

@@ -9,7 +9,7 @@ the simulator models.
 from .api import FnApp, MapReduceApp, default_partition
 from .engine import JobReport, LocalRunner, TaskReport
 from .calibrate import Measurement, measure_cost_model, profile_app
-from .files import FileRunner
+from .files import CorruptPartition, FileRunner, blob_checksum
 from .splitter import iter_records, split_bytes, split_text
 
 __all__ = [
@@ -18,6 +18,8 @@ __all__ = [
     "default_partition",
     "LocalRunner",
     "FileRunner",
+    "CorruptPartition",
+    "blob_checksum",
     "Measurement",
     "profile_app",
     "measure_cost_model",

@@ -14,12 +14,28 @@ and jobs larger than memory stream chunk by chunk.
 
 from __future__ import annotations
 
+import hashlib
 import pathlib
 import typing as _t
 
 from .api import MapReduceApp
 from .engine import JobReport, LocalRunner, TaskReport
 from .splitter import split_text
+
+
+class CorruptPartition(RuntimeError):
+    """An intermediate file failed its checksum (truncated/corrupt copy).
+
+    BOINC-MR transfers intermediate files between untrusted volunteers; a
+    reducer must verify what it downloaded before feeding it to the reduce
+    function.  The recovery is a re-download from another holder or the
+    data server — in this local runner, a re-run of the map task.
+    """
+
+
+def blob_checksum(blob: bytes) -> str:
+    """The checksum clients record for and verify on every partition."""
+    return hashlib.sha256(blob).hexdigest()
 
 
 class FileRunner:
@@ -31,6 +47,8 @@ class FileRunner:
         self.workdir = pathlib.Path(workdir)
         self.job_name = job_name
         self.workdir.mkdir(parents=True, exist_ok=True)
+        #: Checksums recorded at map time, verified at reduce time.
+        self.checksums: dict[str, str] = {}
 
     # -- naming (mirrors MapReduceJobSpec's conventions) -----------------------
     def partition_path(self, map_index: int, reduce_index: int) -> pathlib.Path:
@@ -44,7 +62,9 @@ class FileRunner:
         """Map one chunk; write one partition file per reducer."""
         report, blobs = self.inner.run_map_task(map_index, chunk)
         for r, blob in blobs.items():
-            self.partition_path(map_index, r).write_bytes(blob)
+            path = self.partition_path(map_index, r)
+            path.write_bytes(blob)
+            self.checksums[path.name] = blob_checksum(blob)
         return report
 
     def run_reduce_task(self, reduce_index: int) -> tuple[TaskReport, dict]:
@@ -56,7 +76,13 @@ class FileRunner:
                 raise FileNotFoundError(
                     f"missing map output {path.name} — map task {i} has not "
                     "run (or its file was withdrawn)")
-            blobs.append(path.read_bytes())
+            blob = path.read_bytes()
+            expected = self.checksums.get(path.name)
+            if expected is not None and blob_checksum(blob) != expected:
+                raise CorruptPartition(
+                    f"map output {path.name} failed checksum validation — "
+                    "re-download it from another holder")
+            blobs.append(blob)
         report, output = self.inner.run_reduce_task(reduce_index, blobs)
         with self.output_path(reduce_index).open("wb") as fh:
             for key in sorted(output, key=repr):

@@ -92,3 +92,70 @@ class TestServing:
     def test_invalid_timeout(self, sim):
         with pytest.raises(ValueError):
             PeerStore(sim, serve_timeout_s=0)
+
+
+class TestEviction:
+    def test_evict_withdraws_file(self, store):
+        store.serve(FileRef("f", 10), job="j")
+        assert store.evict("f") is True
+        assert not store.available("f")
+        with pytest.raises(KeyError):
+            store.get("f")
+        assert store.evictions == 1
+
+    def test_evict_unknown_or_already_evicted(self, store):
+        assert store.evict("nope") is False
+        store.serve(FileRef("f", 10), job="j")
+        store.evict("f")
+        assert store.evict("f") is False  # concurrent downloader lost the race
+        assert store.evictions == 1
+
+    def test_evicted_file_can_be_reserved(self, store):
+        """A mapper re-serving after eviction starts a clean window."""
+        store.serve(FileRef("f", 10), job="j")
+        store.evict("f")
+        store.serve(FileRef("f", 10), job="j")
+        assert store.available("f")
+        assert store.renew("f") is True
+
+
+class TestExpiryRaces:
+    def test_expiry_mid_download_does_not_kill_the_transfer(self, sim, store):
+        """The serving window gates *lookups*, not in-flight transfers: a
+        download that called get() just inside the window completes even
+        though the timeout expires while its bytes are still moving."""
+        import numpy as np
+
+        from repro.net import (EMULAB_LINK, PUBLIC, ConnectivityPolicy,
+                               Network, TransferEndpoint, TraversalConfig,
+                               peer_download)
+
+        net = Network(sim)
+        a = net.add_host("mapper", EMULAB_LINK, nat=PUBLIC)
+        b = net.add_host("reducer", EMULAB_LINK, nat=PUBLIC)
+        src, dst = TransferEndpoint(sim, a), TransferEndpoint(sim, b)
+        policy = ConnectivityPolicy(TraversalConfig(direct_setup_s=0.0),
+                                    rng=np.random.default_rng(0))
+        store.serve(FileRef("part0", 12.5e6), job="j")
+
+        def reducer():
+            yield sim.timeout(99.5)        # just inside the 100 s window
+            ref = store.get("part0")       # lookup succeeds...
+            rec = yield sim.process(peer_download(
+                sim, net, policy, src, dst, ref.size))
+            return rec
+
+        proc = sim.process(reducer())
+        sim.run()
+        # ...the window expired mid-flight (the ~1 s transfer crossed
+        # t=100), yet the download finished intact.
+        assert proc.value.ok
+        assert sim.now > 100.0
+        assert not store.available("part0")
+
+    def test_expired_entry_still_evictable(self, sim, store):
+        store.serve(FileRef("f", 10), job="j")
+        sim.schedule(150.0, lambda: None)
+        sim.run()
+        assert not store.available("f")
+        assert store.evict("f") is True  # corrupt + expired: still purged

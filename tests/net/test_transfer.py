@@ -214,3 +214,95 @@ class TestPeerDownload:
         assert proc.triggered
         assert src.upload_slots.in_use == 0
         assert dst.download_slots.in_use == 0
+
+
+class TestSemaphoreSettle:
+    """Unwinding acquires from a finally block, whatever state they reached."""
+
+    def test_settle_releases_granted_slot(self, sim):
+        sem = SimSemaphore(sim, 1)
+        grant = sem.acquire()
+        assert grant.triggered
+        sem.settle(grant)
+        assert sem.in_use == 0
+        assert sem.balance == 0
+
+    def test_settle_cancels_queued_waiter(self, sim):
+        sem = SimSemaphore(sim, 1)
+        sem.acquire()
+        waiter = sem.acquire()
+        assert not waiter.triggered
+        sem.settle(waiter)
+        assert sem.waiting == 0
+        assert sem.cancelled_total == 1
+        # The held slot is untouched and still releasable.
+        sem.release()
+        assert sem.in_use == 0
+
+    def test_cancel_refuses_granted_event(self, sim):
+        sem = SimSemaphore(sim, 1)
+        grant = sem.acquire()
+        assert sem.cancel(grant) is False
+
+    def test_cancelled_waiter_never_steals_a_slot(self, sim):
+        sem = SimSemaphore(sim, 1)
+        sem.acquire()
+        ghost = sem.acquire()
+        sem.cancel(ghost)
+        live = sem.acquire()
+        sem.release()  # hands the slot to `live`, not the cancelled ghost
+        assert live.triggered and not ghost.triggered
+        assert sem.in_use == 1
+
+    def test_balance_matches_in_use(self, sim):
+        sem = SimSemaphore(sim, 2)
+        grants = [sem.acquire() for _ in range(4)]
+        sem.settle(grants[3])  # still queued: cancelled
+        sem.release()
+        assert sem.balance == sem.in_use
+
+
+class TestPeerDownloadLeaks:
+    """Interrupts must return connection slots in every intermediate state."""
+
+    def make_pair(self, sim, net, **ep_kwargs):
+        a = net.add_host("src", EMULAB_LINK, nat=PUBLIC)
+        b = net.add_host("dst", EMULAB_LINK, nat=PUBLIC)
+        return (TransferEndpoint(sim, a, **ep_kwargs),
+                TransferEndpoint(sim, b, **ep_kwargs))
+
+    def test_interrupt_while_waiting_for_slot_leaks_nothing(self, sim, net):
+        """Regression: a process killed while QUEUED on the grant used to
+        leave a phantom waiter that swallowed the next released slot."""
+        src, dst = self.make_pair(sim, net, max_upload_conns=1)
+        first = sim.process(peer_download(
+            sim, net, make_policy(), src, dst, 12.5e6))
+        second = sim.process(peer_download(
+            sim, net, make_policy(), src, dst, 12.5e6))
+        sim.schedule(0.5, second.interrupt, "churn kill while waiting")
+        sim.run()
+        assert first.value.ok
+        assert src.upload_slots.waiting == 0
+        assert src.upload_slots.in_use == 0
+        assert src.upload_slots.cancelled_total == 1
+        # The slot freed by `first` is immediately grantable again.
+        assert src.upload_slots.acquire().triggered
+
+    def test_interrupt_mid_flow_aborts_transfer(self, sim, net):
+        src, dst = self.make_pair(sim, net)
+        proc = sim.process(peer_download(
+            sim, net, make_policy(), src, dst, 12.5e6))
+        sim.schedule(0.5, proc.interrupt, "churn kill mid-flow")
+        sim.run()
+        assert not proc.alive
+        assert list(net.flownet.active) == []
+        assert src.upload_slots.in_use == 0
+        assert dst.download_slots.in_use == 0
+
+    def test_corrupt_serving_endpoint_marks_record(self, sim, net):
+        src, dst = self.make_pair(sim, net)
+        src.corrupt_serves = True
+        proc = sim.process(peer_download(
+            sim, net, make_policy(), src, dst, 12.5e6))
+        sim.run()
+        assert proc.value.ok and proc.value.corrupted

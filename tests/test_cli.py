@@ -117,3 +117,69 @@ class TestObservabilityCommands:
         assert "sched.rpc_total" in out
         assert "daemon.transitioner.backlog" in out
         assert "engine self-profile" in out
+
+
+class TestSeedHandling:
+    """--seed is accepted (and validated) uniformly on every subcommand."""
+
+    COMMANDS = ["table1", "fig4", "ablations", "nat", "churn", "planetlab",
+                "run", "metrics", "wordcount", "chaos"]
+
+    def test_every_subcommand_accepts_seed(self):
+        for cmd in self.COMMANDS:
+            args = build_parser().parse_args([cmd, "--seed", "7"])
+            assert args.seed == 7, cmd
+
+    def test_global_seed_reaches_subcommand(self):
+        args = build_parser().parse_args(["--seed", "3", "run"])
+        assert args.seed == 3
+
+    def test_subcommand_seed_overrides_global(self):
+        args = build_parser().parse_args(["--seed", "3", "run", "--seed", "9"])
+        assert args.seed == 9
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--seed", "-2"])
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--seed", "banana", "table1"])
+
+
+class TestChaosCommand:
+    def test_list_plans(self, capsys):
+        assert main(["chaos", "--list-plans"]) == 0
+        out = capsys.readouterr().out
+        assert "kitchen-sink" in out and "dataserver-degraded" in out
+
+    def test_plan_required(self, capsys):
+        assert main(["chaos"]) == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_unknown_plan_raises(self):
+        with pytest.raises(ValueError, match="unknown chaos plan"):
+            main(["chaos", "no-such-plan"])
+
+    def test_chaos_run_green(self, capsys, tmp_path):
+        summary = tmp_path / "summary.json"
+        trace = tmp_path / "trace.json"
+        assert main(["chaos", "flaky-network", "--seed", "1",
+                     "--summary-out", str(summary),
+                     "--trace-out", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "fault(s) injected" in out
+
+        import json
+        doc = json.loads(summary.read_text())
+        assert doc["audit"]["ok"] is True
+        assert doc["job_done"] is True
+        assert doc["faults"]
+        assert trace.read_text().startswith("{")
+
+    def test_run_with_faults_flag(self, capsys):
+        assert main(["run", "--mr", "--nodes", "6", "--maps", "6",
+                     "--reducers", "2", "--input-gb", "0.06",
+                     "--faults", "flaky-network", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "faults injected" in out and "audit" in out

@@ -111,3 +111,46 @@ class TestChurnController:
                 "sched.rpc", host=cloud.clients[0].name)
                 if r.time > back[0].time]
             assert after
+
+
+class TestPermanentDeparture:
+    """The departure path under load: lost results must be recovered."""
+
+    def test_departed_work_recovered_by_deadline_timeout(self):
+        cloud, controller = churn_cloud(seed=3, mean_on_s=250.0,
+                                        mean_off_s=100.0, departure_prob=1.0)
+        cloud.start()
+        # Churn only a third of the fleet: the survivors finish the job.
+        for client in cloud.clients[:4]:
+            controller.manage(client)
+        job = cloud.run_job(MapReduceJobSpec(
+            "departures", n_maps=8, n_reducers=2, input_size=160e6),
+            timeout=24 * 3600.0)
+        assert job.phase is JobPhase.DONE
+        assert controller.departed, "nobody departed — scenario too gentle"
+        # Departed hosts never rejoin: no online transition afterwards.
+        for name in controller.departed:
+            assert cloud.tracer.select("churn.online", host=name) == []
+        # Their in-flight results were recovered by deadline timeout, not
+        # silently lost — and the end state passes the full audit.
+        timeouts = cloud.tracer.select("transitioner.timeout")
+        assert timeouts, "no deadline timeout fired for departed hosts' work"
+        report = cloud.audit(job)
+        assert report.ok, report.render()
+
+    def test_departed_results_not_reassigned_to_departed_hosts(self):
+        cloud, controller = churn_cloud(seed=3, mean_on_s=250.0,
+                                        mean_off_s=100.0, departure_prob=1.0)
+        cloud.start()
+        for client in cloud.clients[:4]:
+            controller.manage(client)
+        cloud.run_job(MapReduceJobSpec(
+            "departures2", n_maps=8, n_reducers=2, input_size=160e6),
+            timeout=24 * 3600.0)
+        departed_at = {}
+        for rec in cloud.tracer.select("churn.offline"):
+            departed_at.setdefault(rec.get("host"), rec.time)
+        for rec in cloud.tracer.select("sched.assign"):
+            host = rec.get("host")
+            if host in controller.departed:
+                assert rec.time <= departed_at[host]
