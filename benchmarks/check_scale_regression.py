@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Gate: fail when scale-benchmark throughput regresses vs the baseline.
+
+Compares a fresh ``BENCH_scale.json`` (from ``benchmarks/test_scale.py``)
+against the checked-in ``benchmarks/BENCH_scale_baseline.json`` and exits
+non-zero when, at any common size, the incremental allocator's events/sec
+drops more than ``--tolerance`` (default 20%) below baseline.
+
+Absolute events/sec varies across machines, so the gate also checks the
+machine-independent signal — the incremental/full speedup ratio — with
+the same tolerance.  Regenerate the baseline on the reference runner with
+``python benchmarks/test_scale.py && cp BENCH_scale.json
+benchmarks/BENCH_scale_baseline.json`` when an intentional change shifts
+the numbers.
+
+Usage: python benchmarks/check_scale_regression.py [result] [baseline]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__),
+                                "BENCH_scale_baseline.json")
+
+
+def _index(report: dict) -> dict[int, dict]:
+    return {entry["n_nodes"]: entry for entry in report.get("sizes", [])}
+
+
+def check(result: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Return a list of human-readable regression findings (empty = pass)."""
+    failures = []
+    fresh, base = _index(result), _index(baseline)
+    common = sorted(set(fresh) & set(base))
+    if not common:
+        return ["no common sizes between result and baseline"]
+    floor = 1.0 - tolerance
+    for n in common:
+        got = fresh[n]["incremental"]["events_per_s"]
+        want = base[n]["incremental"]["events_per_s"]
+        if got < floor * want:
+            failures.append(
+                f"n={n}: incremental throughput {got:.0f} events/s is "
+                f"{100 * (1 - got / want):.0f}% below baseline {want:.0f}")
+        got_ratio = fresh[n]["speedup_events_per_s"]
+        want_ratio = base[n]["speedup_events_per_s"]
+        if got_ratio < floor * want_ratio:
+            failures.append(
+                f"n={n}: incremental/full speedup {got_ratio:.2f}x is "
+                f"{100 * (1 - got_ratio / want_ratio):.0f}% below "
+                f"baseline {want_ratio:.2f}x")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("result", nargs="?", default="BENCH_scale.json")
+    parser.add_argument("baseline", nargs="?", default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional drop (default 0.20)")
+    args = parser.parse_args(argv)
+    with open(args.result, encoding="utf-8") as fh:
+        result = json.load(fh)
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    failures = check(result, baseline, args.tolerance)
+    if failures:
+        print("scale benchmark regression:")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+    print(f"scale benchmark within {args.tolerance:.0%} of baseline "
+          f"at sizes {sorted(set(_index(result)) & set(_index(baseline)))}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

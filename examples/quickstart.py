@@ -10,7 +10,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro.analysis import job_metrics
-from repro.core import BoincMRConfig, MapReduceJobSpec, VolunteerCloud
+from repro.core import BoincMRConfig, CloudSpec, MapReduceJobSpec, VolunteerCloud
 
 
 def run(label: str, mr: bool) -> None:
@@ -19,7 +19,7 @@ def run(label: str, mr: bool) -> None:
     else:
         mr_config = BoincMRConfig(upload_map_outputs=True,
                                   reduce_from_peers=False)
-    cloud = VolunteerCloud(seed=1, mr_config=mr_config)
+    cloud = VolunteerCloud.from_spec(CloudSpec(seed=1, mr_config=mr_config))
     cloud.add_volunteers(20, mr=mr)
 
     job = cloud.run_job(MapReduceJobSpec(

@@ -21,6 +21,7 @@ from repro.core import (
     GREP,
     INVERTED_INDEX,
     WORD_COUNT,
+    CloudSpec,
     VolunteerCloud,
     WorkflowStage,
     pipeline,
@@ -28,7 +29,7 @@ from repro.core import (
 
 
 def main() -> None:
-    cloud = VolunteerCloud(seed=11)
+    cloud = VolunteerCloud.from_spec(CloudSpec(seed=11))
     cloud.add_volunteers(16, mr=True)
 
     wf = pipeline(

@@ -15,16 +15,17 @@ Layers, bottom to top:
 
 Quickstart::
 
-    from repro.core import VolunteerCloud, MapReduceJobSpec
+    from repro.core import CloudSpec, VolunteerCloud, MapReduceJobSpec
 
-    cloud = VolunteerCloud(seed=1)
+    cloud = VolunteerCloud.from_spec(CloudSpec(seed=1))
     cloud.add_volunteers(20, mr=True)
     job = cloud.run_job(MapReduceJobSpec("wc", n_maps=20, n_reducers=5))
     print(job.makespan())
 """
 
-from .core import MapReduceJob, MapReduceJobSpec, VolunteerCloud
+from .core import CloudSpec, MapReduceJob, MapReduceJobSpec, VolunteerCloud
 
 __version__ = "1.0.0"
 
-__all__ = ["VolunteerCloud", "MapReduceJobSpec", "MapReduceJob", "__version__"]
+__all__ = ["VolunteerCloud", "CloudSpec", "MapReduceJobSpec", "MapReduceJob",
+           "__version__"]

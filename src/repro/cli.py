@@ -72,13 +72,14 @@ def _cmd_planetlab(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from .analysis import job_metrics, trace_to_csv
-    from .core import BoincMRConfig, MapReduceJobSpec, VolunteerCloud
+    from .core import BoincMRConfig, CloudSpec, MapReduceJobSpec, VolunteerCloud
     from .obs import chrome_trace_json, trace_to_jsonl
 
     mr_config = (BoincMRConfig() if args.mr
                  else BoincMRConfig(upload_map_outputs=True,
                                     reduce_from_peers=False))
-    cloud = VolunteerCloud(seed=args.seed, mr_config=mr_config)
+    cloud = VolunteerCloud.from_spec(CloudSpec(
+        seed=args.seed, mr_config=mr_config, allocator=args.allocator))
     cloud.add_volunteers(args.nodes, mr=args.mr)
     if args.trace_out or args.faults:
         cloud.attach_observability(spans=True, probes=False)
@@ -126,7 +127,7 @@ def _render_fault_log(injector: _t.Any) -> str:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import json
 
-    from .core import MapReduceJobSpec, VolunteerCloud
+    from .core import CloudSpec, MapReduceJobSpec, VolunteerCloud
     from .faults import BUILTIN_PLANS, resolve_plan
     from .obs import chrome_trace_json
 
@@ -141,7 +142,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
               "(or --list-plans)", file=sys.stderr)
         return 2
     plan = resolve_plan(args.plan)
-    cloud = VolunteerCloud(seed=args.seed)
+    cloud = VolunteerCloud.from_spec(CloudSpec(seed=args.seed))
     cloud.add_volunteers(args.nodes, mr=True)
     cloud.attach_observability(spans=True, probes=False)
     injector = cloud.apply_faults(plan)
@@ -182,10 +183,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
-    from .core import BoincMRConfig, MapReduceJobSpec, VolunteerCloud
+    from .core import BoincMRConfig, CloudSpec, MapReduceJobSpec, VolunteerCloud
     from .obs import run_summary
 
-    cloud = VolunteerCloud(seed=args.seed, mr_config=BoincMRConfig())
+    cloud = VolunteerCloud.from_spec(CloudSpec(
+        seed=args.seed, mr_config=BoincMRConfig()))
     cloud.add_volunteers(args.nodes, mr=True)
     cloud.attach_observability(spans=True, probes=True,
                                sample_period_s=args.sample_period,
@@ -271,6 +273,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--input-gb", type=float, default=1.0)
     p.add_argument("--mr", action="store_true",
                    help="use BOINC-MR clients (default: original BOINC)")
+    p.add_argument("--allocator", choices=("incremental", "full"),
+                   default="incremental",
+                   help="flow-network rate allocation strategy "
+                        "(default incremental; full = the O(F) reference)")
     p.add_argument("--faults", metavar="PLAN", default=None,
                    help="inject a chaos plan (builtin name or TOML path) "
                         "and audit the run afterwards")

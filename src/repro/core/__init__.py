@@ -3,6 +3,8 @@
 Public surface:
 
 - :class:`VolunteerCloud` — build and run a complete deployment;
+- :class:`CloudSpec` — its frozen construction spec
+  (``VolunteerCloud.from_spec(spec)``);
 - :class:`MapReduceJobSpec`, :class:`MapReduceJob`, :class:`JobPhase`;
 - :class:`JobTracker` — the new server module;
 - :class:`BoincMRConfig` — project-wide MR policy;
@@ -20,12 +22,13 @@ from .interclient import PeerStore, ServedFile
 from .job import JobPhase, MapReduceJob, MapReduceJobSpec, MapTaskRecord
 from .jobtracker import JobTracker
 from .policies import ClientDirectory, MapReduceInputFetcher, MapReduceOutputPolicy
-from .system import VolunteerCloud
+from .system import CloudSpec, VolunteerCloud
 from .workflow import MapReduceWorkflow, WorkflowStage, pipeline
 from .xmlconfig import ConfigError, dump_jobtracker_xml, load_jobtracker_xml
 
 __all__ = [
     "VolunteerCloud",
+    "CloudSpec",
     "MapReduceWorkflow",
     "WorkflowStage",
     "pipeline",

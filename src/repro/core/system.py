@@ -4,18 +4,24 @@
 network, project server (with daemons), JobTracker, and volunteer clients
 (original BOINC or BOINC-MR) — behind a small API:
 
-    cloud = VolunteerCloud(seed=1)
+    spec = CloudSpec(seed=1)
+    cloud = VolunteerCloud.from_spec(spec)
     cloud.add_volunteers(20, mr=True)
     job = cloud.submit(MapReduceJobSpec("wc", n_maps=20, n_reducers=5))
     cloud.run_until(job.done)
     print(job.makespan())
 
-Everything is deterministic under the seed.
+Everything is deterministic under the seed.  :class:`CloudSpec` is the
+single construction surface — a frozen dataclass, so a spec can be shared,
+hashed, and ``replace()``-ed between experiment variants without any risk
+of one run mutating another's configuration.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import typing as _t
+import warnings
 
 from ..boinc.client import Client, ClientConfig
 from ..boinc.server import ProjectServer, ServerConfig
@@ -42,36 +48,92 @@ if _t.TYPE_CHECKING:  # pragma: no cover
     from ..net.supernode import SupernodeOverlay
 
 
+@dataclasses.dataclass(frozen=True, slots=True)
+class CloudSpec:
+    """Everything needed to construct a :class:`VolunteerCloud`.
+
+    Replaces the historical keyword sprawl of ``VolunteerCloud.__init__``:
+    build a spec, then ``VolunteerCloud.from_spec(spec)``.  Being frozen,
+    specs are safely shareable between runs; derive variants with
+    :meth:`replace`::
+
+        base = CloudSpec(seed=1, server_link=SERVER_LINK)
+        fullalloc = base.replace(allocator="full")
+    """
+
+    seed: int = 0
+    server_config: ServerConfig | None = None
+    mr_config: BoincMRConfig | None = None
+    client_config: ClientConfig | None = None
+    traversal_config: TraversalConfig | None = None
+    server_link: LinkSpec = EMULAB_LINK
+    #: Rate-allocation strategy for the flow network ("incremental"/"full");
+    #: see :data:`repro.net.ALLOCATORS`.
+    allocator: str = "incremental"
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ValueError(f"seed must be >= 0, got {self.seed}")
+
+    def replace(self, **changes: _t.Any) -> "CloudSpec":
+        """A copy of this spec with *changes* applied."""
+        return dataclasses.replace(self, **changes)
+
+
+#: Keywords the deprecated VolunteerCloud(...) shim still accepts.
+_LEGACY_SPEC_KEYS = frozenset(
+    f.name for f in dataclasses.fields(CloudSpec))
+
+
 class VolunteerCloud:
     """A complete simulated BOINC-MR deployment."""
 
-    def __init__(self, seed: int = 0,
-                 server_config: ServerConfig | None = None,
-                 mr_config: BoincMRConfig | None = None,
-                 client_config: ClientConfig | None = None,
-                 traversal_config: TraversalConfig | None = None,
-                 server_link: LinkSpec = EMULAB_LINK,
+    def __init__(self, spec: "CloudSpec | int | None" = None, *,
                  tracer: Tracer | None = None,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 **legacy: _t.Any) -> None:
+        if isinstance(spec, int):  # historical positional seed
+            legacy = {"seed": spec, **legacy}
+            spec = None
+        if legacy:
+            if spec is not None:
+                raise TypeError(
+                    "pass either a CloudSpec or legacy keyword arguments, "
+                    "not both")
+            unknown = set(legacy) - _LEGACY_SPEC_KEYS
+            if unknown:
+                raise TypeError(
+                    f"unknown VolunteerCloud argument(s): {sorted(unknown)}")
+            warnings.warn(
+                "VolunteerCloud(seed=..., server_config=..., ...) is "
+                "deprecated; build a CloudSpec and call "
+                "VolunteerCloud.from_spec(spec)",
+                DeprecationWarning, stacklevel=2)
+            spec = CloudSpec(**legacy)
+        elif spec is None:
+            spec = CloudSpec()
+        #: The frozen construction spec this deployment was built from.
+        self.spec = spec
         self.sim = Simulator()
-        self.rngs = RngRegistry(seed)
+        self.rngs = RngRegistry(spec.seed)
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.net = Network(self.sim, tracer=None,  # flow traces are noisy
-                           metrics=self.metrics)
-        self.server_host = self.net.add_host("server", server_link)
+                           metrics=self.metrics, allocator=spec.allocator)
+        self.server_host = self.net.add_host("server", spec.server_link)
         self.server = ProjectServer(self.sim, self.net, self.server_host,
-                                    config=server_config, tracer=self.tracer,
+                                    config=spec.server_config,
+                                    tracer=self.tracer,
                                     rng=self.rngs.stream("server"),
                                     metrics=self.metrics)
-        self.mr_config = mr_config or BoincMRConfig()
-        self.client_config = client_config or ClientConfig()
+        self.mr_config = spec.mr_config or BoincMRConfig()
+        self.client_config = spec.client_config or ClientConfig()
         self.jobtracker = JobTracker(self.sim, self.server,
                                      config=self.mr_config, tracer=self.tracer)
         self.jobtracker.on_job_done = self._cleanup_job
         self.directory = ClientDirectory()
         self.connectivity = ConnectivityPolicy(
-            traversal_config or TraversalConfig(),
+            spec.traversal_config or TraversalConfig(),
             rng=self.rngs.stream("nat"))
         self.clients: list[Client] = []
         self._started = False
@@ -79,6 +141,16 @@ class VolunteerCloud:
         self.span_builder: SpanBuilder | None = None
         self.sampler: Sampler | None = None
         self.profiler: SelfProfiler | None = None
+
+    @classmethod
+    def from_spec(cls, spec: CloudSpec, *, tracer: Tracer | None = None,
+                  metrics: MetricsRegistry | None = None) -> "VolunteerCloud":
+        """Build a deployment from a frozen :class:`CloudSpec`.
+
+        The preferred constructor; *tracer* and *metrics* stay out of the
+        spec because they are stateful observers, not configuration.
+        """
+        return cls(spec, tracer=tracer, metrics=metrics)
 
     # -- population ------------------------------------------------------------
     def add_volunteer(self, name: str | None = None, *, flops: float = 1.0,

@@ -16,7 +16,16 @@ from .planetlab import (
 )
 from .nat_study import LADDERS, NatStudyOutcome, nat_scenario, run_ladder_study
 from .replication import ReplicationOutcome, run_replication, sweep as replication_sweep
-from .scaling import SweepPoint, granularity_scaling, node_scaling, speedup
+from .scaling import (
+    SCALE_NODE_COUNTS,
+    ScalePoint,
+    SweepPoint,
+    build_scale_cloud,
+    granularity_scaling,
+    node_scaling,
+    scale_out,
+    speedup,
+)
 from .server_load import LoadPoint, congestion_ratio, run_load_point, run_load_sweep
 from .scenario import (
     PC3001_FLOPS,
@@ -77,6 +86,10 @@ __all__ = [
     "node_scaling",
     "granularity_scaling",
     "speedup",
+    "SCALE_NODE_COUNTS",
+    "ScalePoint",
+    "build_scale_cloud",
+    "scale_out",
     "LoadPoint",
     "run_load_point",
     "run_load_sweep",

@@ -16,7 +16,7 @@ import dataclasses
 import typing as _t
 
 from ..analysis import JobMetrics, job_metrics
-from ..core import BoincMRConfig, MapReduceJobSpec, VolunteerCloud
+from ..core import BoincMRConfig, CloudSpec, MapReduceJobSpec, VolunteerCloud
 from ..net import (
     ADSL_LINK,
     CABLE_LINK,
@@ -59,8 +59,8 @@ def build_internet_cloud(seed: int, n_nodes: int, mr: bool,
     mr_config = (BoincMRConfig(upload_map_outputs=True) if mr
                  else BoincMRConfig(upload_map_outputs=True,
                                     reduce_from_peers=False))
-    cloud = VolunteerCloud(seed=seed, mr_config=mr_config,
-                           server_link=SERVER_LINK)
+    cloud = VolunteerCloud.from_spec(CloudSpec(
+        seed=seed, mr_config=mr_config, server_link=SERVER_LINK))
     nats = (sample_nat_population(rngs.stream("nats"), n_nodes)
             if with_nats else [None] * n_nodes)
     links, weights = zip(*LINK_MIX)

@@ -20,7 +20,7 @@ from __future__ import annotations
 import dataclasses
 
 from ..analysis import job_metrics
-from ..core import MapReduceJobSpec, VolunteerCloud
+from ..core import CloudSpec, MapReduceJobSpec, VolunteerCloud
 
 
 @dataclasses.dataclass(slots=True)
@@ -42,7 +42,7 @@ class ReplicationOutcome:
 def run_replication(replication: int, quorum: int,
                     byzantine_rate: float = 0.0, seed: int = 5,
                     n_nodes: int = 12) -> ReplicationOutcome:
-    cloud = VolunteerCloud(seed=seed)
+    cloud = VolunteerCloud.from_spec(CloudSpec(seed=seed))
     cloud.add_volunteers(n_nodes, mr=True, byzantine_rate=byzantine_rate)
     spec = MapReduceJobSpec("repl", n_maps=12, n_reducers=3,
                             input_size=120e6, replication=replication,

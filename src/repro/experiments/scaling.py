@@ -12,14 +12,26 @@ either axis; this study sweeps them independently:
   paper's 1x vs 2x maps-per-node comparison extended to a full curve.
   Finer tasks pipeline better (downloads overlap compute) until per-task
   overheads win.
+- :func:`scale_out`: the simulator-scalability study behind
+  ``benchmarks/test_scale.py`` — an internet-style deployment (1 Gbit
+  project server, ADSL volunteers, one concurrent word-count job per 200
+  volunteers) at 100/500/2,000 nodes, measuring simulator throughput
+  (events/sec) rather than makespan, for each rate-allocation strategy.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import time
 import typing as _t
 
+from ..boinc.client import ClientConfig
+from ..core import BoincMRConfig, CloudSpec, MapReduceJobSpec, VolunteerCloud
+from ..net import ADSL_LINK, SERVER_LINK
 from .scenario import Scenario, ScenarioResult, run_scenario
+
+#: Node counts for the simulator-scalability study (ISSUE 4).
+SCALE_NODE_COUNTS: tuple[int, ...] = (100, 500, 2000)
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -33,14 +45,20 @@ class SweepPoint:
 
 def node_scaling(node_counts: _t.Sequence[int] = (5, 10, 20, 40),
                  seed: int = 1, mr: bool = True,
-                 input_size: float = 1e9) -> list[SweepPoint]:
-    """Makespan for the same job on clusters of increasing size."""
+                 input_size: float = 1e9,
+                 allocator: str = "incremental") -> list[SweepPoint]:
+    """Makespan for the same job on clusters of increasing size.
+
+    The incremental allocator (default) makes the larger points in
+    :data:`SCALE_NODE_COUNTS` practical; pass ``allocator="full"`` to
+    cross-check against the reference full-recompute strategy.
+    """
     points = []
     for n in node_counts:
         result = run_scenario(Scenario(
             name=f"nodes{n}", n_nodes=n, n_maps=max(n, 10),
             n_reducers=max(2, n // 4), mr_clients=mr, seed=seed,
-            input_size=input_size))
+            input_size=input_size, allocator=allocator))
         m = result.metrics
         points.append(SweepPoint(x=n, total=m.total,
                                  map_mean=m.map_stats.mean,
@@ -73,3 +91,79 @@ def speedup(points: _t.Sequence[SweepPoint]) -> list[tuple[int, float]]:
         return []
     base = points[0].total
     return [(p.x, base / p.total) for p in points]
+
+
+# ---------------------------------------------------------------------------
+# Simulator-scalability study (events/sec, not makespan)
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ScalePoint:
+    """One (cluster size, allocator) measurement of simulator throughput."""
+
+    n_nodes: int
+    allocator: str
+    n_jobs: int
+    events: int
+    wall_s: float
+    events_per_s: float
+    makespan_s: float
+    peak_queue_depth: int
+
+    def as_dict(self) -> dict[str, _t.Any]:
+        return dataclasses.asdict(self)
+
+
+def build_scale_cloud(n_nodes: int, seed: int = 1,
+                      allocator: str = "incremental",
+                      jobs_per_200_nodes: int = 1,
+                      ) -> tuple[VolunteerCloud, list]:
+    """Internet-style deployment for the scalability study.
+
+    A well-provisioned project server (1 Gbit) serves ``n_nodes`` ADSL
+    volunteers running BOINC-MR clients, with one concurrent 250 MB
+    word-count job (50 maps x 50 reducers) per 200 volunteers — a real
+    volunteer platform runs many jobs at once, and concurrent shuffles
+    are what load the flow network with many independent components.
+    Clients poll on a tightened 120 s backoff cap so reducers overlap.
+
+    Returns the (unstarted) cloud and the list of submitted jobs; run
+    with ``cloud.run_until(cloud.sim.all_of([j.done for j in jobs]))``.
+    """
+    spec = CloudSpec(
+        seed=seed,
+        mr_config=BoincMRConfig(),
+        client_config=ClientConfig(backoff_max_s=120.0),
+        server_link=SERVER_LINK,
+        allocator=allocator,
+    )
+    cloud = VolunteerCloud.from_spec(spec)
+    cloud.add_volunteers(n_nodes, mr=True, link_spec=ADSL_LINK)
+    n_jobs = max(1, (n_nodes * jobs_per_200_nodes) // 200)
+    jobs = [
+        cloud.submit(MapReduceJobSpec(
+            name=f"wordcount{j}", n_maps=50, n_reducers=50,
+            input_size=250e6))
+        for j in range(n_jobs)
+    ]
+    return cloud, jobs
+
+
+def scale_out(n_nodes: int, seed: int = 1,
+              allocator: str = "incremental") -> ScalePoint:
+    """Run the scalability workload at *n_nodes* and measure throughput."""
+    cloud, jobs = build_scale_cloud(n_nodes, seed=seed, allocator=allocator)
+    t0 = time.perf_counter()
+    cloud.run_until(cloud.sim.all_of([j.done for j in jobs]))
+    wall = time.perf_counter() - t0
+    events = cloud.sim.dispatch_count
+    return ScalePoint(
+        n_nodes=n_nodes,
+        allocator=allocator,
+        n_jobs=len(jobs),
+        events=events,
+        wall_s=wall,
+        events_per_s=events / wall if wall > 0 else 0.0,
+        makespan_s=cloud.sim.now,
+        peak_queue_depth=cloud.sim.peak_pending,
+    )

@@ -19,7 +19,13 @@ import typing as _t
 from ..analysis import JobMetrics, job_metrics
 from ..boinc.client import ClientConfig
 from ..boinc.server import ServerConfig
-from ..core import BoincMRConfig, MapReduceJob, MapReduceJobSpec, VolunteerCloud
+from ..core import (
+    BoincMRConfig,
+    CloudSpec,
+    MapReduceJob,
+    MapReduceJobSpec,
+    VolunteerCloud,
+)
 from ..core.costmodel import WORD_COUNT, MapReduceCostModel
 from ..net import EMULAB_LINK, LinkSpec, NatBox
 from ..sim import Tracer
@@ -48,13 +54,20 @@ class Scenario:
     app_name: str = "wordcount"
     #: Fraction of nodes that are the faster pcr200 class.
     fast_node_fraction: float = 0.0
-    link_spec: LinkSpec = EMULAB_LINK
+    #: Access-link profile shared by the server and every volunteer.
+    link: LinkSpec = EMULAB_LINK
+    #: Server access link override (None = same as :attr:`link`).  Internet
+    #: deployments pair a well-provisioned project server (SERVER_LINK) with
+    #: consumer volunteer links.
+    server_link: LinkSpec | None = None
     #: Optional per-node NAT boxes (None = publicly reachable LAN).
     nats: _t.Sequence[NatBox | None] | None = None
     byzantine_rate: float = 0.0
     server_config: ServerConfig | None = None
     client_config: ClientConfig | None = None
     mr_config: BoincMRConfig | None = None
+    #: Flow-network rate-allocation strategy (see repro.net.ALLOCATORS).
+    allocator: str = "incremental"
     timeout_s: float = 48 * 3600.0
 
     def __post_init__(self) -> None:
@@ -65,6 +78,11 @@ class Scenario:
         if self.nats is not None and len(self.nats) != self.n_nodes:
             raise ValueError("nats must have one entry per node")
 
+    @property
+    def link_spec(self) -> LinkSpec:
+        """Deprecated alias for :attr:`link` (pre-CloudSpec field name)."""
+        return self.link
+
     def default_mr_config(self) -> BoincMRConfig:
         if self.mr_config is not None:
             return self.mr_config
@@ -72,6 +90,17 @@ class Scenario:
             return BoincMRConfig()
         # Original BOINC: everything via the server.
         return BoincMRConfig(upload_map_outputs=True, reduce_from_peers=False)
+
+    def cloud_spec(self) -> CloudSpec:
+        """The :class:`CloudSpec` this scenario's deployment is built from."""
+        return CloudSpec(
+            seed=self.seed,
+            server_config=self.server_config,
+            mr_config=self.default_mr_config(),
+            client_config=self.client_config,
+            server_link=self.server_link or self.link,
+            allocator=self.allocator,
+        )
 
 
 @dataclasses.dataclass(slots=True)
@@ -91,20 +120,14 @@ class ScenarioResult:
 
 def build_cloud(scenario: Scenario) -> VolunteerCloud:
     """Construct (but do not run) the deployment for *scenario*."""
-    cloud = VolunteerCloud(
-        seed=scenario.seed,
-        server_config=scenario.server_config,
-        mr_config=scenario.default_mr_config(),
-        client_config=scenario.client_config,
-        server_link=scenario.link_spec,
-    )
+    cloud = VolunteerCloud.from_spec(scenario.cloud_spec())
     n_fast = int(round(scenario.n_nodes * scenario.fast_node_fraction))
     for i in range(scenario.n_nodes):
         flops = PCR200_FLOPS if i < n_fast else PC3001_FLOPS
         nat = scenario.nats[i] if scenario.nats is not None else None
         cloud.add_volunteer(
             f"node{i:03d}", flops=flops, mr=scenario.mr_clients,
-            link_spec=scenario.link_spec, nat=nat,
+            link_spec=scenario.link, nat=nat,
             byzantine_rate=scenario.byzantine_rate)
     return cloud
 

@@ -11,7 +11,7 @@ Public surface:
 
 Typical use::
 
-    cloud = VolunteerCloud(seed=7)
+    cloud = VolunteerCloud.from_spec(CloudSpec(seed=7))
     cloud.add_volunteers(12, mr=True)
     cloud.apply_faults("kitchen-sink")
     job = cloud.run_job(spec)

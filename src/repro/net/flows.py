@@ -8,21 +8,38 @@ classic max–min fair allocation computed by progressive filling, with
 optional per-flow rate caps (to model TCP throughput ceilings).
 
 Whenever the flow set changes, progress is advanced, rates are recomputed,
-and the earliest completion is scheduled.  A version counter retracts stale
-completion events, so the model stays correct under arbitrary churn.
+and the earliest completion is scheduled.  Stale completion timers are
+retracted (cancelled, or skipped via version counters), so the model stays
+correct under arbitrary churn.
 
 *Background* flows (the TCP-Nice model from the paper's Section III.D) only
 receive capacity left over after all foreground flows are allocated — a
 two-pass allocation that captures Nice's "only use spare bandwidth"
 behaviour at the flow level.
+
+Rate allocation is a pluggable strategy (the ``allocator=`` parameter of
+:class:`FlowNetwork`):
+
+- ``"full"`` — the original global algorithm: every flow change reallocates
+  every active flow, O(F·L) per event.  Simple, and the reference the
+  incremental allocator is property-tested against.
+- ``"incremental"`` (default) — partitions the active flows into
+  link-connected components and reallocates only the component touched by a
+  change.  Untouched components keep their cached rates and completion
+  timers (per-component version counters + cancellable timers), which is
+  what lets the simulator scale to thousands of volunteers.
+
+Both strategies maintain per-link used-rate sums so
+:meth:`FlowNetwork.utilisation` is O(1) per sample.
 """
 
 from __future__ import annotations
 
+import itertools
 import math
 import typing as _t
 
-from ..sim import PRIORITY_HIGH, Event, Simulator, Tracer
+from ..sim import PRIORITY_HIGH, Event, Simulator, TimerHandle, Tracer
 
 if _t.TYPE_CHECKING:  # pragma: no cover
     from ..obs.metrics import MetricsRegistry
@@ -70,7 +87,7 @@ class Flow:
     __slots__ = (
         "name", "links", "size", "remaining", "rate", "max_rate",
         "background", "done", "started_at", "finished_at", "aborted",
-        "corrupted",
+        "corrupted", "seq",
     )
 
     def __init__(self, sim: Simulator, name: str, links: _t.Sequence[Link],
@@ -95,6 +112,9 @@ class Flow:
         #: Fault injection: the payload arrives corrupt; the receiver's
         #: checksum validation must reject it and re-download.
         self.corrupted = False
+        #: Global start order, assigned by FlowNetwork — the deterministic
+        #: tie-breaker allocators use wherever ordering matters.
+        self.seq = -1
 
     @property
     def finished(self) -> bool:
@@ -111,6 +131,10 @@ class Flow:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"<Flow {self.name} {self.remaining:.0f}/{self.size:.0f}B "
                 f"@{self.rate:.0f}B/s>")
+
+
+def _by_seq(flow: Flow) -> int:
+    return flow.seq
 
 
 def maxmin_rates(flows: _t.Sequence[Flow]) -> dict[Flow, float]:
@@ -167,23 +191,497 @@ def maxmin_rates(flows: _t.Sequence[Flow]) -> dict[Flow, float]:
     return rate
 
 
+def _fill_background(foreground: list[Flow], background: list[Flow]) -> None:
+    """Nice-style second pass: background flows share leftover capacity."""
+    residual: dict[Link, float] = {}
+    for f in background:
+        for link in f.links:
+            residual.setdefault(link, link.capacity)
+    for f in foreground:
+        for link in f.links:
+            if link in residual:
+                residual[link] -= f.rate
+    # Reuse progressive filling by temporarily shrinking link capacities.
+    saved = {link: link.capacity for link in residual}
+    try:
+        for link, room in residual.items():
+            link.capacity = max(room, 1e-9)
+        rates = maxmin_rates(background)
+    finally:
+        for link, cap in saved.items():
+            link.capacity = cap
+    for f, r in rates.items():
+        # A starved background flow gets a vanishing sliver from the
+        # capacity floor above; treat it as fully stalled.
+        f.rate = r if r > 1e-6 else 0.0
+
+
+def allocate_rates(flows: _t.Sequence[Flow]) -> None:
+    """Two-pass (foreground max–min, then background residual) allocation.
+
+    Mutates ``flow.rate`` in place.  This is the shared fill routine both
+    allocator strategies call; progressive filling is numerically
+    order-independent, so full and incremental allocation of the same flow
+    set produce identical rates.
+    """
+    foreground = [f for f in flows if not f.background]
+    background = [f for f in flows if f.background]
+    rates = maxmin_rates(foreground)
+    for f, r in rates.items():
+        f.rate = r
+    if background:
+        _fill_background(foreground, background)
+
+
+@_t.runtime_checkable
+class RateAllocator(_t.Protocol):
+    """Strategy protocol for :class:`FlowNetwork` rate allocation.
+
+    Implementations own *when* and *over what scope* rates are recomputed;
+    the :class:`FlowNetwork` owns flow lifecycle bookkeeping (tracing,
+    metrics, the ``done`` events) via :meth:`FlowNetwork._finish`.
+
+    Lifecycle: the network calls :meth:`bind` once at construction, then
+    :meth:`add` / :meth:`remove` as flows start and die, :meth:`advance`
+    before it mutates a flow so progress at the old rates is not lost, and
+    :meth:`refresh` after external link-capacity changes.
+    """
+
+    name: str
+
+    def bind(self, net: "FlowNetwork") -> None:
+        """Attach to *net*; called once before any other method."""
+
+    def add(self, flow: Flow) -> None:
+        """*flow* was appended to ``net._active``; allocate it a rate."""
+
+    def remove(self, flow: Flow) -> None:
+        """*flow* left ``net._active`` (abort); reallocate survivors."""
+
+    def advance(self, flow: Flow | None = None) -> None:
+        """Account progress at current rates — for *flow*'s scope, or all."""
+
+    def refresh(self) -> None:
+        """External capacity change: advance and reallocate everything."""
+
+    def link_used(self, link: Link) -> float:
+        """Summed allocated rate over *link* in bytes/s (O(1))."""
+
+    def flows_using(self, links: _t.Sequence[Link]) -> list[Flow]:
+        """Active flows traversing any of *links*, in start order."""
+
+    def component_count(self) -> int:
+        """Number of independent allocation domains currently tracked."""
+
+
+class FullAllocator:
+    """The original global strategy: every change reallocates every flow.
+
+    O(F·L) per flow event, but numerically bit-identical to the historical
+    single-``_recompute`` implementation — the reference baseline the
+    incremental allocator is property-tested against.
+    """
+
+    name = "full"
+
+    def __init__(self) -> None:
+        self.net: FlowNetwork | None = None
+        self._version = 0
+        self._last_update = 0.0
+        self._used: dict[Link, float] = {}
+
+    def bind(self, net: "FlowNetwork") -> None:
+        self.net = net
+        self._last_update = net.sim.now
+
+    # -- protocol -------------------------------------------------------------
+    def add(self, flow: Flow) -> None:
+        self._reallocate()
+
+    def remove(self, flow: Flow) -> None:
+        self._reallocate()
+
+    def advance(self, flow: Flow | None = None) -> None:
+        net = self.net
+        dt = net.sim.now - self._last_update
+        if dt > 0:
+            for f in net._active:
+                sent = min(f.remaining, f.rate * dt)
+                f.remaining -= sent
+                for link in f.links:
+                    link.bytes_carried += sent
+        self._last_update = net.sim.now
+
+    def refresh(self) -> None:
+        self._reallocate()
+
+    def link_used(self, link: Link) -> float:
+        return self._used.get(link, 0.0)
+
+    def flows_using(self, links: _t.Sequence[Link]) -> list[Flow]:
+        lset = set(links)
+        return [f for f in self.net._active if not lset.isdisjoint(f.links)]
+
+    def component_count(self) -> int:
+        return 1 if self.net._active else 0
+
+    # -- internals ------------------------------------------------------------
+    def _reallocate(self) -> None:
+        """Advance progress, refill every rate, schedule the next completion."""
+        net = self.net
+        self.advance()
+        flows = list(net._active)
+        allocate_rates(flows)
+        used: dict[Link, float] = {}
+        for f in flows:
+            for link in f.links:
+                used[link] = used.get(link, 0.0) + f.rate
+        self._used = used
+        self._version += 1
+        next_eta = math.inf
+        for f in flows:
+            next_eta = min(next_eta, f.eta())
+        if math.isfinite(next_eta):
+            # PRIORITY_HIGH so completion processing at time T runs before
+            # ordinary model callbacks at T observe a stale flow set.
+            net.sim.schedule(next_eta, self._on_timer, self._version,
+                             priority=PRIORITY_HIGH)
+
+    def _on_timer(self, version: int) -> None:
+        if version != self._version:
+            return  # superseded by a later reallocation
+        net = self.net
+        self.advance()
+        finished = [f for f in net._active if f.remaining <= _EPSILON_BYTES]
+        if finished:
+            net._finish(finished)
+        self._reallocate()
+
+
+class _Component:
+    """A link-connected island of active flows (incremental allocator)."""
+
+    __slots__ = ("flows", "links", "version", "last_update", "next_at",
+                 "next_rate", "timer")
+
+    def __init__(self, now: float) -> None:
+        #: Member flows, insertion-ordered (dict-as-ordered-set).
+        self.flows: dict[Flow, None] = {}
+        #: Links touched by member flows (may briefly include stale links).
+        self.links: set[Link] = set()
+        #: Bumped on every (re)allocation; retracts stale timers.
+        self.version = 0
+        #: Sim time progress was last accounted for this component.
+        self.last_update = now
+        #: Absolute time of the scheduled completion check (None if idle).
+        self.next_at: float | None = None
+        #: Rate of the earliest-finishing flow at the last allocation.
+        self.next_rate = 0.0
+        self.timer: TimerHandle | None = None
+
+
+def _link_components(flows: list[Flow],
+                     adj: dict[Link, list[Flow]]) -> list[list[Flow]]:
+    """Partition *flows* into link-connected groups, each in start order."""
+    seen: set[Flow] = set()
+    groups: list[list[Flow]] = []
+    for f in flows:
+        if f in seen:
+            continue
+        seen.add(f)
+        group = [f]
+        stack = [f]
+        while stack:
+            cur = stack.pop()
+            for link in cur.links:
+                for other in adj[link]:
+                    if other not in seen:
+                        seen.add(other)
+                        group.append(other)
+                        stack.append(other)
+        group.sort(key=_by_seq)
+        groups.append(group)
+    return groups
+
+
+class IncrementalAllocator:
+    """Component-partitioned strategy: reallocate only what a change touches.
+
+    Active flows are grouped into link-connected components.  Starting a
+    flow merges the components its links touch; an abort or completion
+    splits its component if removal disconnected it.  Each component keeps
+    its own progress clock, version counter, and cancellable completion
+    timer, so churn in one part of the network never reschedules — or even
+    inspects — flows elsewhere.  Per-event cost is O(component), not O(F).
+    """
+
+    name = "incremental"
+
+    def __init__(self) -> None:
+        self.net: FlowNetwork | None = None
+        self._comps: dict[_Component, None] = {}
+        self._flow_comp: dict[Flow, _Component] = {}
+        self._link_comp: dict[Link, _Component] = {}
+        self._used: dict[Link, float] = {}
+
+    def bind(self, net: "FlowNetwork") -> None:
+        self.net = net
+
+    # -- protocol -------------------------------------------------------------
+    def add(self, flow: Flow) -> None:
+        now = self.net.sim.now
+        comp: _Component | None = None
+        for link in flow.links:
+            c = self._link_comp.get(link)
+            if c is None or c is comp:
+                continue
+            if comp is None:
+                comp = c
+                self._advance_comp(comp, now)
+            else:
+                self._advance_comp(c, now)
+                self._merge(comp, c)
+        if comp is None:
+            comp = _Component(now)
+            self._comps[comp] = None
+        comp.flows[flow] = None
+        comp.links.update(flow.links)
+        self._flow_comp[flow] = comp
+        for link in flow.links:
+            self._link_comp[link] = comp
+        self._settle(comp)
+
+    def remove(self, flow: Flow) -> None:
+        comp = self._flow_comp.pop(flow)
+        del comp.flows[flow]
+        self._resettle(comp)
+
+    def advance(self, flow: Flow | None = None) -> None:
+        now = self.net.sim.now
+        if flow is None:
+            for comp in self._comps:
+                self._advance_comp(comp, now)
+        else:
+            self._advance_comp(self._flow_comp[flow], now)
+
+    def refresh(self) -> None:
+        # Capacity changes alter rates, never the link→flow structure, so
+        # component membership is preserved; every component refills.
+        for comp in list(self._comps):
+            self._advance_comp(comp, self.net.sim.now)
+            self._settle(comp)
+
+    def link_used(self, link: Link) -> float:
+        return self._used.get(link, 0.0)
+
+    def flows_using(self, links: _t.Sequence[Link]) -> list[Flow]:
+        lset = set(links)
+        out: list[Flow] = []
+        seen: set[int] = set()
+        for link in links:
+            comp = self._link_comp.get(link)
+            if comp is None or id(comp) in seen:
+                continue
+            seen.add(id(comp))
+            out.extend(f for f in comp.flows if not lset.isdisjoint(f.links))
+        out.sort(key=_by_seq)
+        return out
+
+    def component_count(self) -> int:
+        return len(self._comps)
+
+    # -- internals ------------------------------------------------------------
+    def _advance_comp(self, comp: _Component, now: float) -> None:
+        dt = now - comp.last_update
+        if dt > 0:
+            for f in comp.flows:
+                sent = min(f.remaining, f.rate * dt)
+                f.remaining -= sent
+                for link in f.links:
+                    link.bytes_carried += sent
+        comp.last_update = now
+
+    def _merge(self, dst: _Component, src: _Component) -> None:
+        """Absorb *src* into *dst* (both already advanced to now)."""
+        if src.timer is not None:
+            src.timer.cancel()
+            src.timer = None
+        src.version += 1
+        for f in src.flows:
+            dst.flows[f] = None
+            self._flow_comp[f] = dst
+        dst.links.update(src.links)
+        for link in src.links:
+            if self._link_comp.get(link) is src:
+                self._link_comp[link] = dst
+        del self._comps[src]
+
+    def _dissolve(self, comp: _Component) -> None:
+        """Drop an empty (or about-to-be-split) component and its index entries."""
+        if comp.timer is not None:
+            comp.timer.cancel()
+            comp.timer = None
+        comp.version += 1
+        for link in comp.links:
+            if self._link_comp.get(link) is comp:
+                del self._link_comp[link]
+                self._used.pop(link, None)
+        self._comps.pop(comp, None)
+
+    def _settle(self, comp: _Component) -> None:
+        """(Re)allocate *comp*'s rates and reschedule its completion timer.
+
+        Timer hygiene lives here: the previous timer is cancelled (O(1))
+        rather than left to fire as a stale no-op, so unaffected components
+        elsewhere never accumulate superseded queue entries.
+        """
+        if not comp.flows:
+            self._dissolve(comp)
+            return
+        sim = self.net.sim
+        comp.version += 1
+        if comp.timer is not None:
+            comp.timer.cancel()
+            comp.timer = None
+        flows = sorted(comp.flows, key=_by_seq)
+        allocate_rates(flows)
+        for link in comp.links:
+            self._used[link] = 0.0
+        for f in flows:
+            for link in f.links:
+                self._used[link] += f.rate
+        next_eta = math.inf
+        next_rate = 0.0
+        for f in flows:
+            eta = f.eta()
+            if eta < next_eta:
+                next_eta = eta
+                next_rate = f.rate
+        if math.isfinite(next_eta):
+            comp.next_at = sim.now + next_eta
+            comp.next_rate = next_rate
+            comp.timer = sim.schedule_cancellable(
+                next_eta, self._on_timer, comp, comp.version,
+                priority=PRIORITY_HIGH)
+        else:
+            comp.next_at = None
+            comp.next_rate = 0.0
+
+    def _resettle(self, comp: _Component) -> None:
+        """After a removal: split *comp* if disconnected, refill survivors."""
+        now = self.net.sim.now
+        if not comp.flows:
+            self._dissolve(comp)
+            return
+        flows = sorted(comp.flows, key=_by_seq)
+        adj: dict[Link, list[Flow]] = {}
+        for f in flows:
+            for link in f.links:
+                adj.setdefault(link, []).append(f)
+        groups = _link_components(flows, adj)
+        if len(groups) == 1:
+            # Still connected: prune links only the removed flow used.
+            for link in comp.links - adj.keys():
+                if self._link_comp.get(link) is comp:
+                    del self._link_comp[link]
+                    self._used.pop(link, None)
+            comp.links = set(adj)
+            self._settle(comp)
+            return
+        self._dissolve(comp)
+        for group in groups:
+            nc = _Component(now)
+            self._comps[nc] = None
+            for f in group:
+                nc.flows[f] = None
+                self._flow_comp[f] = nc
+                nc.links.update(f.links)
+            for link in nc.links:
+                self._link_comp[link] = nc
+            self._settle(nc)
+
+    def _on_timer(self, comp: _Component, version: int) -> None:
+        if comp.version != version:
+            return  # superseded (defensive; cancellation makes this rare)
+        now = self.net.sim.now
+        # Due-scan: finish *every* flow within the completion epsilon at this
+        # instant, across all components, exactly as the global allocator
+        # does — (next_at - now) * next_rate is the earliest flow's remaining
+        # byte count, so the comparison needs no per-flow work.
+        due = [c for c in self._comps
+               if c.next_at is not None
+               and (c.next_at - now) * c.next_rate <= _EPSILON_BYTES]
+        finished: list[Flow] = []
+        touched: list[tuple[_Component, list[Flow]]] = []
+        for c in due:
+            self._advance_comp(c, now)
+            fin = [f for f in c.flows if f.remaining <= _EPSILON_BYTES]
+            touched.append((c, fin))
+            finished.extend(fin)
+        for c, fin in touched:
+            if not fin:
+                self._settle(c)
+                continue
+            for f in fin:
+                del c.flows[f]
+                del self._flow_comp[f]
+            self._resettle(c)
+        if finished:
+            finished.sort(key=_by_seq)
+            self.net._finish(finished)
+
+
+#: Registry the ``allocator=`` string parameter resolves against.
+ALLOCATORS: dict[str, _t.Callable[[], "RateAllocator"]] = {
+    "full": FullAllocator,
+    "incremental": IncrementalAllocator,
+}
+
+
 class FlowNetwork:
-    """Tracks active flows and keeps their rates max–min fair over time."""
+    """Tracks active flows and keeps their rates max–min fair over time.
+
+    Parameters
+    ----------
+    allocator:
+        Rate-allocation strategy — ``"incremental"`` (default), ``"full"``,
+        or any :class:`RateAllocator` instance (see :data:`ALLOCATORS`).
+    """
 
     def __init__(self, sim: Simulator, tracer: Tracer | None = None,
-                 metrics: "MetricsRegistry | None" = None) -> None:
+                 metrics: "MetricsRegistry | None" = None,
+                 allocator: "str | RateAllocator" = "incremental") -> None:
         self.sim = sim
         self.tracer = tracer
         #: Optional :class:`repro.obs.MetricsRegistry` for flow counters
         #: and duration/size histograms.
         self.metrics = metrics
-        self.active: list[Flow] = []
-        self._version = 0
-        self._last_update = sim.now
+        self._active: dict[Flow, None] = {}
+        self._flow_seq = itertools.count()
         #: Total bytes delivered by completed flows (diagnostic).
         self.bytes_delivered = 0.0
         self.flows_completed = 0
         self.flows_aborted = 0
+        if isinstance(allocator, str):
+            try:
+                factory = ALLOCATORS[allocator]
+            except KeyError:
+                raise ValueError(
+                    f"unknown allocator {allocator!r}; "
+                    f"expected one of {sorted(ALLOCATORS)}") from None
+            allocator = factory()
+        self.allocator: RateAllocator = allocator
+        self.allocator.bind(self)
+
+    @property
+    def active(self) -> list[Flow]:
+        """Snapshot of in-flight flows, in start order."""
+        return list(self._active)
+
+    @property
+    def active_count(self) -> int:
+        """Number of in-flight flows (O(1); prefer over ``len(active)``)."""
+        return len(self._active)
 
     # -- public API ----------------------------------------------------------
     def start_flow(self, name: str, links: _t.Sequence[Link], size: float,
@@ -191,24 +689,25 @@ class FlowNetwork:
                    background: bool = False) -> Flow:
         """Begin a transfer of *size* bytes across *links*; returns the flow."""
         flow = Flow(self.sim, name, links, size, max_rate, background)
+        flow.seq = next(self._flow_seq)
         if flow.remaining <= _EPSILON_BYTES:
             flow.finished_at = self.sim.now
             flow.done.trigger(flow)
             self.flows_completed += 1
             return flow
-        self.active.append(flow)
+        self._active[flow] = None
         if self.tracer is not None:
             self.tracer.record(self.sim.now, "flow.start", flow=name,
                                size=size, background=background)
-        self._recompute()
+        self.allocator.add(flow)
         return flow
 
     def abort_flow(self, flow: Flow, reason: str = "aborted") -> None:
         """Cancel an in-flight flow; its ``done`` event fails with FlowError."""
         if flow.finished:
             return
-        self._advance()
-        self.active.remove(flow)
+        self.allocator.advance(flow)
+        del self._active[flow]
         flow.aborted = True
         flow.rate = 0.0
         flow.finished_at = self.sim.now
@@ -219,106 +718,44 @@ class FlowNetwork:
             self.tracer.record(self.sim.now, "flow.abort", flow=flow.name,
                                reason=reason, transferred=flow.size - flow.remaining)
         flow.done.fail(FlowError(f"flow {flow.name}: {reason}"))
-        self._recompute()
+        self.allocator.remove(flow)
 
     def recompute(self) -> None:
         """Re-run rate allocation after an external capacity change.
 
-        Call after mutating a :class:`Link` capacity (e.g. fault-injected
-        bandwidth degradation) so progress up to now is accounted at the
-        old rates and every active flow gets a fresh allocation.
+        The single public entry point for forcing reallocation: call after
+        mutating a :class:`Link` capacity (e.g. fault-injected bandwidth
+        degradation) so progress up to now is accounted at the old rates and
+        every active flow gets a fresh allocation.  Flow start/abort/
+        completion reallocate automatically and never need this.
         """
-        self._recompute()
+        self.allocator.refresh()
 
     def utilisation(self, link: Link) -> float:
-        """Fraction of *link* capacity currently in use (0..1)."""
-        used = sum(f.rate for f in self.active if link in f.links)
-        return used / link.capacity
+        """Fraction of *link* capacity currently in use (0..1).  O(1)."""
+        return self.allocator.link_used(link) / link.capacity
+
+    def flows_using(self, links: _t.Sequence[Link]) -> list[Flow]:
+        """Active flows traversing any of *links*, in start order."""
+        return self.allocator.flows_using(links)
 
     # -- internals -------------------------------------------------------------
-    def _advance(self) -> None:
-        """Account progress since the last rate change."""
-        dt = self.sim.now - self._last_update
-        if dt > 0:
-            for f in self.active:
-                sent = min(f.remaining, f.rate * dt)
-                f.remaining -= sent
-                for link in f.links:
-                    link.bytes_carried += sent
-        self._last_update = self.sim.now
-
-    def _recompute(self) -> None:
-        """Re-allocate rates and (re)schedule the next completion.
-
-        Always advances progress first so rate changes never lose bytes
-        already delivered at the old rates.
-        """
-        self._advance()
-        foreground = [f for f in self.active if not f.background]
-        background = [f for f in self.active if f.background]
-        rates = maxmin_rates(foreground)
-        for f, r in rates.items():
-            f.rate = r
-        if background:
-            self._allocate_background(foreground, background)
-        self._version += 1
-        next_eta = math.inf
-        for f in self.active:
-            next_eta = min(next_eta, f.eta())
-        if math.isfinite(next_eta):
-            # PRIORITY_HIGH so completion processing at time T runs before
-            # ordinary model callbacks at T observe a stale flow set.
-            self.sim.schedule(next_eta, self._on_completion_timer, self._version,
-                              priority=PRIORITY_HIGH)
-
-    def _allocate_background(self, foreground: list[Flow],
-                             background: list[Flow]) -> None:
-        """Nice-style second pass: background flows share leftover capacity."""
-        residual: dict[Link, float] = {}
-        for f in background:
-            for link in f.links:
-                residual.setdefault(link, link.capacity)
-        for f in foreground:
-            for link in f.links:
-                if link in residual:
-                    residual[link] -= f.rate
-        # Reuse progressive filling by temporarily shrinking link capacities.
-        saved = {link: link.capacity for link in residual}
-        try:
-            for link, room in residual.items():
-                link.capacity = max(room, 1e-9)
-            rates = maxmin_rates(background)
-        finally:
-            for link, cap in saved.items():
-                link.capacity = cap
-        for f, r in rates.items():
-            # A starved background flow gets a vanishing sliver from the
-            # capacity floor above; treat it as fully stalled.
-            f.rate = r if r > 1e-6 else 0.0
-
-    def _on_completion_timer(self, version: int) -> None:
-        if version != self._version:
-            return  # superseded by a later recompute
-        self._advance()
-        finished = [f for f in self.active if f.remaining <= _EPSILON_BYTES]
-        if not finished:
-            self._recompute()
-            return
-        for f in finished:
-            self.active.remove(f)
+    def _finish(self, flows: _t.Sequence[Flow]) -> None:
+        """Complete *flows* (already advanced to zero remaining) at now."""
+        now = self.sim.now
+        for f in flows:
+            del self._active[f]
             f.remaining = 0.0
             f.rate = 0.0
-            f.finished_at = self.sim.now
+            f.finished_at = now
             self.bytes_delivered += f.size
             self.flows_completed += 1
             if self.metrics is not None:
                 self.metrics.counter("net.flows_completed_total").inc()
                 self.metrics.counter("net.bytes_delivered_total").inc(f.size)
                 self.metrics.histogram("net.flow_duration_s").observe(
-                    self.sim.now - f.started_at)
+                    now - f.started_at)
             if self.tracer is not None:
-                self.tracer.record(self.sim.now, "flow.done", flow=f.name,
-                                   size=f.size,
-                                   duration=self.sim.now - f.started_at)
+                self.tracer.record(now, "flow.done", flow=f.name,
+                                   size=f.size, duration=now - f.started_at)
             f.done.trigger(f)
-        self._recompute()

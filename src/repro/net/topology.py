@@ -87,11 +87,14 @@ class Network:
     """Facade over :class:`FlowNetwork` exposing host-to-host transfers."""
 
     def __init__(self, sim: Simulator, tracer: Tracer | None = None,
-                 metrics: "MetricsRegistry | None" = None) -> None:
+                 metrics: "MetricsRegistry | None" = None,
+                 allocator: str = "incremental") -> None:
         self.sim = sim
         self.tracer = tracer
-        self.flownet = FlowNetwork(sim, tracer=tracer, metrics=metrics)
+        self.flownet = FlowNetwork(sim, tracer=tracer, metrics=metrics,
+                                   allocator=allocator)
         self.hosts: dict[str, Host] = {}
+        self._host_by_link: dict[Link, Host] = {}
         #: Active partition: host name -> group id.  Hosts not listed form
         #: an implicit group of their own.  ``None`` = no partition.
         self._partition: dict[str, int] | None = None
@@ -104,6 +107,8 @@ class Network:
             raise ValueError(f"duplicate host name {name!r}")
         host = Host(name, spec, nat=nat)
         self.hosts[name] = host
+        self._host_by_link[host.uplink] = host
+        self._host_by_link[host.downlink] = host
         return host
 
     def host(self, name: str) -> Host:
@@ -144,10 +149,7 @@ class Network:
 
     def drop_host_flows(self, host: Host, reason: str = "host offline") -> int:
         """Abort every active flow touching *host*; returns how many."""
-        victims = [
-            f for f in list(self.flownet.active)
-            if host.uplink in f.links or host.downlink in f.links
-        ]
+        victims = self.flownet.flows_using((host.uplink, host.downlink))
         for f in victims:
             self.flownet.abort_flow(f, reason=reason)
         return len(victims)
@@ -163,8 +165,12 @@ class Network:
     # -- partitions ----------------------------------------------------------------
     def flow_hosts(self, flow: Flow) -> list[Host]:
         """Every registered host whose access link *flow* traverses."""
-        return [h for h in self.hosts.values()
-                if h.uplink in flow.links or h.downlink in flow.links]
+        out: list[Host] = []
+        for link in flow.links:
+            host = self._host_by_link.get(link)
+            if host is not None and host not in out:
+                out.append(host)
+        return out
 
     def reachable(self, a: Host, b: Host) -> bool:
         """Can *a* and *b* currently exchange traffic (partition-wise)?"""

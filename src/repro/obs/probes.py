@@ -60,11 +60,15 @@ def attach_standard_probes(cloud: "VolunteerCloud",
               fn=lambda: sum(1 for wu in server.db.workunits.values()
                              if wu.state is WorkunitState.VALIDATED))
     reg.gauge("net.flows_active", "in-flight bulk transfers",
-              fn=lambda: len(net.flownet.active))
+              fn=lambda: net.flownet.active_count)
+    reg.gauge("net.components", "independent flow allocation domains",
+              fn=lambda: net.flownet.allocator.component_count())
     reg.gauge("net.server_uplink_util", "server uplink utilisation 0..1",
               fn=lambda: net.flownet.utilisation(cloud.server_host.uplink))
     reg.gauge("net.server_downlink_util", "server downlink utilisation 0..1",
               fn=lambda: net.flownet.utilisation(cloud.server_host.downlink))
+    reg.gauge("sim.queue_depth", "live callbacks in the event queue",
+              fn=cloud.sim.pending)
 
     def _occupancy(state: str) -> _t.Callable[[], float]:
         def count() -> float:

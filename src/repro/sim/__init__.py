@@ -9,7 +9,14 @@ Public surface:
 - :class:`Tracer` — structured trace recording.
 """
 
-from .engine import PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_NORMAL, SimulationError, Simulator
+from .engine import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    SimulationError,
+    Simulator,
+    TimerHandle,
+)
 from .events import AllOf, AnyOf, Event, EventAlreadyTriggered, Timeout
 from .process import Interrupted, Process
 from .rng import RngRegistry, jittered
@@ -18,6 +25,7 @@ from .trace import IntervalAccumulator, TraceRecord, Tracer
 __all__ = [
     "Simulator",
     "SimulationError",
+    "TimerHandle",
     "PRIORITY_HIGH",
     "PRIORITY_LOW",
     "PRIORITY_NORMAL",

@@ -34,6 +34,31 @@ class SimulationError(RuntimeError):
     """Raised for misuse of the engine (e.g. scheduling into the past)."""
 
 
+class TimerHandle:
+    """Cancellation token returned by :meth:`Simulator.schedule_cancellable`.
+
+    Cancellation is lazy: the queue entry stays in the heap but is skipped
+    (without advancing the clock or the dispatch count) when it reaches the
+    front.  This keeps cancellation O(1), which the incremental flow
+    allocator relies on to retract superseded completion timers cheaply.
+    """
+
+    __slots__ = ("_sim", "active")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        #: True while the callback is still due to run.
+        self.active = True
+
+    def cancel(self) -> bool:
+        """Retract the callback; returns False if already cancelled/fired."""
+        if not self.active:
+            return False
+        self.active = False
+        self._sim._cancelled += 1
+        return True
+
+
 class Simulator:
     """A deterministic discrete-event simulator.
 
@@ -50,12 +75,18 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._queue: list[tuple[float, int, int, _t.Callable[..., None], tuple]] = []
+        self._queue: list[tuple[float, int, int, _t.Callable[..., None], tuple,
+                                TimerHandle | None]] = []
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
+        #: Entries in the heap whose TimerHandle was cancelled (lazy deletion).
+        self._cancelled = 0
         #: Number of callbacks executed so far (diagnostic).
         self.dispatch_count = 0
+        #: High-water mark of live scheduled callbacks (diagnostic; the
+        #: scale benchmarks report it as "peak queue depth").
+        self.peak_pending = 0
         #: Optional observer ``(fn, args, wall_seconds)`` called after every
         #: dispatched callback — the hook behind the engine self-profiler
         #: (:class:`repro.obs.probes.SelfProfiler`).  Leave ``None`` to keep
@@ -76,8 +107,32 @@ class Simulator:
         if delay < 0 or math.isnan(delay):
             raise SimulationError(f"cannot schedule {delay!r} seconds into the past")
         heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._seq), fn, args)
+            self._queue,
+            (self._now + delay, priority, next(self._seq), fn, args, None),
         )
+        live = len(self._queue) - self._cancelled
+        if live > self.peak_pending:
+            self.peak_pending = live
+
+    def schedule_cancellable(self, delay: float, fn: _t.Callable[..., None],
+                             *args: _t.Any,
+                             priority: int = PRIORITY_NORMAL) -> TimerHandle:
+        """Like :meth:`schedule`, but returns a :class:`TimerHandle`.
+
+        Calling ``handle.cancel()`` retracts the callback in O(1); a
+        cancelled entry is skipped silently when it surfaces in the heap.
+        """
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(f"cannot schedule {delay!r} seconds into the past")
+        handle = TimerHandle(self)
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, priority, next(self._seq), fn, args, handle),
+        )
+        live = len(self._queue) - self._cancelled
+        if live > self.peak_pending:
+            self.peak_pending = live
+        return handle
 
     def at(self, when: float, fn: _t.Callable[..., None], *args: _t.Any,
            priority: int = PRIORITY_NORMAL) -> None:
@@ -112,13 +167,26 @@ class Simulator:
         return Process(self, gen, name=name)
 
     # -- execution -------------------------------------------------------------
+    def _prune(self) -> None:
+        """Drop cancelled entries from the front of the heap."""
+        queue = self._queue
+        while queue:
+            handle = queue[0][5]
+            if handle is None or handle.active:
+                return
+            heapq.heappop(queue)
+            self._cancelled -= 1
+
     def step(self) -> bool:
         """Execute the next scheduled callback.  Returns False when empty."""
+        self._prune()
         if not self._queue:
             return False
-        when, _prio, _seq, fn, args = heapq.heappop(self._queue)
+        when, _prio, _seq, fn, args, handle = heapq.heappop(self._queue)
         if when < self._now:  # pragma: no cover - defensive; cannot happen
             raise SimulationError("event queue went backwards in time")
+        if handle is not None:
+            handle.active = False  # fired; a later cancel() is a no-op
         self._now = when
         self.dispatch_count += 1
         hook = self.dispatch_hook
@@ -131,7 +199,8 @@ class Simulator:
         return True
 
     def peek(self) -> float:
-        """Timestamp of the next scheduled callback, or ``inf`` if none."""
+        """Timestamp of the next live scheduled callback, or ``inf`` if none."""
+        self._prune()
         return self._queue[0][0] if self._queue else math.inf
 
     def run(self, until: float | None = None,
@@ -149,6 +218,9 @@ class Simulator:
         steps = 0
         try:
             while self._queue and not self._stopped:
+                self._prune()
+                if not self._queue:
+                    break
                 if until_event is not None and until_event.triggered:
                     break
                 if until is not None and self._queue[0][0] > until:
@@ -165,6 +237,7 @@ class Simulator:
         # Advance the clock to `until` only when the run genuinely reached
         # it — never after stop() or an until_event fired with callbacks
         # still queued (the clock must not jump past pending events).
+        self._prune()
         if (until is not None and self._now < until and not self._stopped
                 and (until_event is None or not until_event.triggered)
                 and (not self._queue or self._queue[0][0] > until)):
@@ -175,8 +248,8 @@ class Simulator:
         self._stopped = True
 
     def pending(self) -> int:
-        """Number of callbacks currently scheduled."""
-        return len(self._queue)
+        """Number of live (non-cancelled) callbacks currently scheduled."""
+        return len(self._queue) - self._cancelled
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<Simulator t={self._now:.3f} pending={len(self._queue)}>"
+        return f"<Simulator t={self._now:.3f} pending={self.pending()}>"

@@ -1,0 +1,87 @@
+"""CloudSpec construction API and the legacy keyword shim."""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro.boinc.client import ClientConfig
+from repro.core import BoincMRConfig, CloudSpec, VolunteerCloud
+from repro.net import EMULAB_LINK, SERVER_LINK
+from repro.net.flows import FullAllocator, IncrementalAllocator
+
+
+class TestCloudSpec:
+    def test_defaults(self):
+        spec = CloudSpec()
+        assert spec.seed == 0
+        assert spec.server_link is EMULAB_LINK
+        assert spec.allocator == "incremental"
+
+    def test_frozen(self):
+        spec = CloudSpec()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.seed = 3
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            CloudSpec(seed=-1)
+
+    def test_replace(self):
+        spec = CloudSpec(seed=4)
+        other = spec.replace(allocator="full", server_link=SERVER_LINK)
+        assert other.seed == 4
+        assert other.allocator == "full"
+        assert other.server_link is SERVER_LINK
+        assert spec.allocator == "incremental"  # original untouched
+
+
+class TestFromSpec:
+    def test_builds_cloud(self):
+        cloud = VolunteerCloud.from_spec(CloudSpec(seed=7))
+        assert cloud.spec.seed == 7
+        assert isinstance(cloud.net.flownet.allocator, IncrementalAllocator)
+
+    def test_allocator_flows_through(self):
+        cloud = VolunteerCloud.from_spec(CloudSpec(allocator="full"))
+        assert isinstance(cloud.net.flownet.allocator, FullAllocator)
+
+    def test_server_link_flows_through(self):
+        cloud = VolunteerCloud.from_spec(CloudSpec(server_link=SERVER_LINK))
+        assert cloud.server_host.uplink.capacity == pytest.approx(
+            SERVER_LINK.up_bps / 8.0)
+
+    def test_positional_int_is_seed(self):
+        with pytest.warns(DeprecationWarning):
+            cloud = VolunteerCloud(5)
+        assert cloud.spec.seed == 5
+
+    def test_no_warning_from_spec_path(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            VolunteerCloud.from_spec(CloudSpec(seed=1))
+            VolunteerCloud(CloudSpec(seed=1))
+
+
+class TestLegacyShim:
+    def test_keyword_form_warns_and_delegates(self):
+        mr = BoincMRConfig()
+        with pytest.warns(DeprecationWarning, match="CloudSpec"):
+            cloud = VolunteerCloud(seed=9, mr_config=mr)
+        assert cloud.spec.seed == 9
+        assert cloud.spec.mr_config is mr
+
+    def test_equivalent_to_from_spec(self):
+        cc = ClientConfig(backoff_max_s=120.0)
+        with pytest.warns(DeprecationWarning):
+            legacy = VolunteerCloud(seed=3, client_config=cc)
+        modern = VolunteerCloud.from_spec(CloudSpec(seed=3, client_config=cc))
+        assert legacy.spec == modern.spec
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError):
+            VolunteerCloud(seed=1, flux_capacitor=True)
+
+    def test_spec_and_kwargs_rejected(self):
+        with pytest.raises(TypeError):
+            VolunteerCloud(CloudSpec(seed=1), seed=2)

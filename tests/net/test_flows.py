@@ -17,9 +17,10 @@ def sim():
     return Simulator()
 
 
-@pytest.fixture
-def net(sim):
-    return FlowNetwork(sim)
+@pytest.fixture(params=["incremental", "full"])
+def net(sim, request):
+    """Every behavioural test in this file runs under both allocators."""
+    return FlowNetwork(sim, allocator=request.param)
 
 
 class TestLink:

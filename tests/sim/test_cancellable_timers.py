@@ -1,0 +1,96 @@
+"""Cancellable timers and event-queue hygiene (TimerHandle)."""
+
+import pytest
+
+from repro.sim import Simulator, TimerHandle
+
+
+class TestScheduleCancellable:
+    def test_fires_like_plain_schedule(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_cancellable(5.0, fired.append, "x")
+        assert isinstance(handle, TimerHandle)
+        sim.run()
+        assert fired == ["x"]
+        assert sim.now == pytest.approx(5.0)
+
+    def test_cancel_prevents_dispatch(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule_cancellable(5.0, fired.append, "x")
+        assert handle.cancel()
+        sim.run()
+        assert fired == []
+        # A cancelled-only queue never advances the clock.
+        assert sim.now == pytest.approx(0.0)
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule_cancellable(1.0, lambda: None)
+        assert handle.cancel() is True
+        assert handle.cancel() is False
+
+    def test_cancel_after_fire_returns_false(self):
+        sim = Simulator()
+        handle = sim.schedule_cancellable(1.0, lambda: None)
+        sim.run()
+        assert handle.cancel() is False
+
+    def test_cancelled_timer_does_not_block_ordering(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_cancellable(1.0, order.append, "dead").cancel()
+        sim.schedule(2.0, order.append, "live")
+        sim.run()
+        assert order == ["live"]
+        assert sim.now == pytest.approx(2.0)
+
+
+class TestQueueAccounting:
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        handles = [sim.schedule_cancellable(float(i + 1), lambda: None)
+                   for i in range(5)]
+        assert sim.pending() == 5
+        handles[0].cancel()
+        handles[3].cancel()
+        assert sim.pending() == 3
+
+    def test_peak_pending_high_water_mark(self):
+        sim = Simulator()
+        for i in range(7):
+            sim.schedule(float(i), lambda: None)
+        assert sim.peak_pending >= 7
+        sim.run()
+        # The mark survives the drain.
+        assert sim.peak_pending >= 7
+
+    def test_cancelled_heads_are_pruned(self):
+        """Mass-cancelled timers must not linger at the heap front."""
+        sim = Simulator()
+        handles = [sim.schedule_cancellable(1.0, lambda: None)
+                   for _ in range(100)]
+        for h in handles:
+            h.cancel()
+        marker = []
+        sim.schedule(2.0, marker.append, True)
+        sim.step()
+        assert marker == [True]
+
+    def test_determinism_with_cancellations(self):
+        """Cancel churn must not perturb dispatch order of survivors."""
+        def run(cancel):
+            sim = Simulator()
+            order = []
+            hs = [sim.schedule_cancellable(1.0, order.append, i)
+                  for i in range(10)]
+            if cancel:
+                for i in (1, 4, 7):
+                    hs[i].cancel()
+            sim.run()
+            return order
+
+        survivors = [i for i in range(10) if i not in (1, 4, 7)]
+        assert run(cancel=True) == survivors
+        assert [i for i in run(cancel=False) if i not in (1, 4, 7)] == survivors
