@@ -14,7 +14,7 @@ Three design alternatives the paper sketches but never measured:
 import pytest
 
 from repro.boinc import ClientConfig, ServerConfig
-from repro.core import BoincMRConfig, MapReduceJobSpec, VolunteerCloud
+from repro.core import BoincMRConfig, CloudSpec, MapReduceJobSpec, VolunteerCloud
 from repro.net import LinkSpec, NatBox, NatType
 
 SYM = NatBox(nat_type=NatType.SYMMETRIC)
@@ -25,7 +25,7 @@ SYM = NatBox(nat_type=NatType.SYMMETRIC)
 # ---------------------------------------------------------------------------
 
 def _natted_cloud(seed=2):
-    cloud = VolunteerCloud(seed=seed)
+    cloud = VolunteerCloud.from_spec(CloudSpec(seed=seed))
     # Two public, well-provisioned volunteers (supernode candidates) and a
     # NATed majority.
     cloud.add_volunteers(3, mr=True, link_spec=LinkSpec(200e6, 200e6, 0.001))
@@ -79,9 +79,10 @@ def test_both_relay_modes_complete(relay_comparison):
 # ---------------------------------------------------------------------------
 
 def _run_adaptive(adaptive: bool, seed=5):
-    cloud = VolunteerCloud(seed=seed, server_config=ServerConfig(
-        adaptive_replication=adaptive, adaptive_trust_threshold=2,
-        adaptive_spot_check_rate=0.1))
+    cloud = VolunteerCloud.from_spec(CloudSpec(
+        seed=seed, server_config=ServerConfig(
+            adaptive_replication=adaptive, adaptive_trust_threshold=2,
+            adaptive_spot_check_rate=0.1)))
     cloud.add_volunteers(12, mr=True)
     cloud.run_job(MapReduceJobSpec("warm", n_maps=12, n_reducers=3,
                                    input_size=120e6), timeout=48 * 3600)
@@ -126,12 +127,12 @@ def test_adaptive_does_not_hurt_makespan(adaptive_comparison):
 # ---------------------------------------------------------------------------
 
 def _run_nice(nice: bool, seed=3):
-    cloud = VolunteerCloud(
+    cloud = VolunteerCloud.from_spec(CloudSpec(
         seed=seed,
         # Map outputs are uploaded for fallback AND served to peers — the
         # exact contention Nice is for.
         mr_config=BoincMRConfig(upload_map_outputs=True),
-        client_config=ClientConfig(nice_uploads=nice))
+        client_config=ClientConfig(nice_uploads=nice)))
     # Thin uplinks make the contention visible.
     cloud.add_volunteers(12, mr=True,
                          link_spec=LinkSpec(30e6, 6e6, 0.010))

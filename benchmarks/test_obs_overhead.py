@@ -15,7 +15,7 @@ import json
 import pathlib
 import time
 
-from repro.core import BoincMRConfig, MapReduceJobSpec, VolunteerCloud
+from repro.core import BoincMRConfig, CloudSpec, MapReduceJobSpec, VolunteerCloud
 from repro.sim import Tracer
 
 NODES, MAPS, REDUCERS, INPUT = 20, 20, 5, 1e9
@@ -26,7 +26,8 @@ BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs.json"
 
 def _build(observed: bool) -> VolunteerCloud:
     tracer = None if observed else Tracer(keep=lambda kind: False)
-    cloud = VolunteerCloud(seed=11, mr_config=BoincMRConfig(), tracer=tracer)
+    cloud = VolunteerCloud.from_spec(
+        CloudSpec(seed=11, mr_config=BoincMRConfig()), tracer=tracer)
     cloud.add_volunteers(NODES, mr=True)
     if observed:
         cloud.attach_observability(spans=True, probes=True)

@@ -10,13 +10,14 @@ cluster, showing how speculative replicas bound the damage.
 import pytest
 
 from repro.boinc import ClientConfig, ServerConfig
-from repro.core import JobPhase, MapReduceJobSpec, VolunteerCloud
+from repro.core import CloudSpec, JobPhase, MapReduceJobSpec, VolunteerCloud
 
 
 def run_with_slow_node(speculative: bool, seed: int = 1):
-    cloud = VolunteerCloud(seed=seed, server_config=ServerConfig(
-        speculative_execution=speculative, speculative_factor=3.0,
-        speculative_min_elapsed_s=120.0))
+    cloud = VolunteerCloud.from_spec(CloudSpec(
+        seed=seed, server_config=ServerConfig(
+            speculative_execution=speculative, speculative_factor=3.0,
+            speculative_min_elapsed_s=120.0)))
     cloud.add_volunteers(19, mr=True)
     cloud.add_volunteer("slowpoke", mr=True,
                         config=ClientConfig(speed_factor=0.05))

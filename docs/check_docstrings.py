@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate for ``src/repro``.
+
+Walks every module under ``src/repro`` with :mod:`ast` (no imports, so a
+broken module still gets checked) and requires a docstring on:
+
+- every module,
+- every public class,
+- every public function and method.
+
+"Public" means the name has no leading underscore and the object is not
+nested inside a private scope.  Dunder methods are exempt except
+``__init__`` on public classes whose signature takes arguments beyond
+``self`` (those are API surface).  ``@overload`` stubs and bodies that
+are a bare ``...`` are exempt.
+
+The gate is strict for modules and classes (every one must be
+documented) and a ratchet for functions/methods: coverage must not fall
+below :data:`FUNCTION_FLOOR`, which is bumped as gaps are filled.  Exit
+status is non-zero on violation, so CI and ``tests/test_docs.py`` can
+gate on it::
+
+    python docs/check_docstrings.py            # report + gate
+    python docs/check_docstrings.py --list     # only print missing names
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+#: Minimum fraction of public functions/methods that must carry a
+#: docstring.  Raise this as coverage improves; never lower it.
+FUNCTION_FLOOR = 0.95
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _is_ellipsis_body(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    body = node.body
+    if body and isinstance(body[0], ast.Expr) and isinstance(
+            body[0].value, ast.Constant) and isinstance(
+            body[0].value.value, str):
+        body = body[1:]
+    return len(body) == 1 and isinstance(body[0], ast.Expr) and isinstance(
+        body[0].value, ast.Constant) and body[0].value.value is Ellipsis
+
+
+def _is_overload(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for deco in node.decorator_list:
+        name = deco.attr if isinstance(deco, ast.Attribute) else (
+            deco.id if isinstance(deco, ast.Name) else None)
+        if name == "overload":
+            return True
+    return False
+
+
+def _init_needs_doc(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    args = node.args
+    n_args = len(args.posonlyargs) + len(args.args) - 1  # minus self
+    return n_args + len(args.kwonlyargs) > 0 or bool(
+        args.vararg or args.kwarg)
+
+
+class Tally:
+    """Accumulates documentable objects and the undocumented subset."""
+
+    def __init__(self) -> None:
+        self.strict_total = 0        # modules + classes (must be 100%)
+        self.strict_missing: list[str] = []
+        self.func_total = 0          # functions/methods (floor-gated)
+        self.func_missing: list[str] = []
+
+    def function_coverage(self) -> float:
+        """Fraction of public functions/methods with a docstring."""
+        if not self.func_total:
+            return 1.0
+        return 1.0 - len(self.func_missing) / self.func_total
+
+
+def _walk(node: ast.AST, qualname: str, tally: Tally) -> None:
+    """Recurse over definitions, recording undocumented public ones."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, ast.ClassDef):
+            if not _is_public(child.name):
+                continue
+            name = f"{qualname}.{child.name}"
+            tally.strict_total += 1
+            if ast.get_docstring(child) is None:
+                tally.strict_missing.append(f"class {name}")
+            _walk(child, name, tally)
+        elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            is_init = (child.name == "__init__"
+                       and isinstance(node, ast.ClassDef))
+            if is_init and not _init_needs_doc(child):
+                continue
+            if not is_init and not _is_public(child.name):
+                continue
+            if _is_overload(child) or _is_ellipsis_body(child):
+                continue
+            name = f"{qualname}.{child.name}"
+            tally.func_total += 1
+            if ast.get_docstring(child) is None:
+                tally.func_missing.append(f"def {name}")
+
+
+def check_file(path: Path, tally: Tally) -> None:
+    """Scan one source file into the running tally."""
+    rel = path.relative_to(SRC_ROOT.parent)
+    modname = ".".join(rel.with_suffix("").parts)
+    if modname.endswith(".__init__"):
+        modname = modname[: -len(".__init__")]
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    tally.strict_total += 1
+    if ast.get_docstring(tree) is None:
+        tally.strict_missing.append(f"module {modname}")
+    _walk(tree, modname, tally)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the gate over ``src/repro``; return a process exit status."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--list", action="store_true",
+                        help="print only the missing names")
+    args = parser.parse_args(argv)
+
+    tally = Tally()
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        check_file(path, tally)
+
+    if args.list:
+        for name in tally.strict_missing + tally.func_missing:
+            print(name)
+    else:
+        strict_ok = tally.strict_total - len(tally.strict_missing)
+        print(f"modules/classes documented: {strict_ok}/"
+              f"{tally.strict_total} (required: all)")
+        func_cov = tally.function_coverage()
+        func_ok = tally.func_total - len(tally.func_missing)
+        print(f"functions/methods documented: {func_ok}/{tally.func_total} "
+              f"({100 * func_cov:.1f}%, floor {100 * FUNCTION_FLOOR:.0f}%)")
+        for name in tally.strict_missing:
+            print(f"  MISSING {name}")
+
+    failures: list[str] = []
+    if tally.strict_missing:
+        failures.append(f"{len(tally.strict_missing)} public modules/classes "
+                        f"lack docstrings")
+    if tally.function_coverage() < FUNCTION_FLOOR:
+        failures.append(
+            f"function docstring coverage "
+            f"{100 * tally.function_coverage():.1f}% is below the "
+            f"{100 * FUNCTION_FLOOR:.0f}% floor")
+    if failures:
+        for msg in failures:
+            print(f"FAIL: {msg}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

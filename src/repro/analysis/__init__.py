@@ -9,6 +9,12 @@ from .makespan import (
     report_lags,
     task_intervals,
 )
+from .campaign import (
+    GroupStats,
+    aggregate_records,
+    aggregate_store,
+    render_campaign_table,
+)
 from .export import (
     chrome_trace_json,
     intervals_to_csv,
@@ -49,4 +55,8 @@ __all__ = [
     "percentile",
     "straggler_index",
     "improvement",
+    "GroupStats",
+    "aggregate_records",
+    "aggregate_store",
+    "render_campaign_table",
 ]

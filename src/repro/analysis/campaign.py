@@ -1,0 +1,112 @@
+"""Aggregation of campaign result stores into the paper's tables.
+
+A finished campaign is a pile of per-cell JSONL records
+(:class:`repro.campaign.ResultStore`); this module folds them back into
+the shapes the sequential studies print: group cells by their
+aggregation bucket (a Table I row label, a replication point, ...),
+summarise the headline metric across seeds with the existing
+:func:`repro.analysis.summarise` statistics, and render with the shared
+:func:`repro.analysis.render_table` formatter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from .stats import Summary, summarise
+from .tables import render_table
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from ..campaign import CellRecord
+
+#: Which payload field is the headline metric, per cell kind.
+HEADLINE_METRIC: dict[str, str] = {
+    "scenario": "total",
+    "table1": "total",
+    "churn": "total",
+    "replication": "total",
+    "scale_out": "makespan_s",
+    "sleep": "slept_s",
+}
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class GroupStats:
+    """Cross-seed aggregate of one campaign group (e.g. a Table I row)."""
+
+    group: str
+    kind: str
+    summary: Summary
+    #: Mean of every numeric payload field across the group's cells.
+    field_means: dict[str, float]
+    failed: int
+
+    @property
+    def n(self) -> int:
+        """Number of completed cells aggregated into this group."""
+        return self.summary.n
+
+
+def _numeric_means(payloads: _t.Sequence[_t.Mapping[str, _t.Any]]
+                   ) -> dict[str, float]:
+    sums: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for payload in payloads:
+        for field, value in payload.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            sums[field] = sums.get(field, 0.0) + float(value)
+            counts[field] = counts.get(field, 0) + 1
+    return {f: sums[f] / counts[f] for f in sums}
+
+
+def aggregate_records(records: _t.Iterable["CellRecord"]
+                      ) -> list[GroupStats]:
+    """Fold store records into per-group statistics (store order kept)."""
+    groups: dict[str, list["CellRecord"]] = {}
+    for record in records:
+        group = record.spec.get("group") or record.spec["kind"]
+        groups.setdefault(group, []).append(record)
+    out: list[GroupStats] = []
+    for group, members in groups.items():
+        ok = [m for m in members if m.ok and m.result is not None]
+        failed = len(members) - len(ok)
+        if not ok:
+            continue
+        kind = members[0].spec["kind"]
+        metric = HEADLINE_METRIC.get(kind, "total")
+        values = [float(m.result[metric]) for m in ok
+                  if metric in m.result]
+        if not values:
+            continue
+        out.append(GroupStats(
+            group=group, kind=kind, summary=summarise(values),
+            field_means=_numeric_means([m.result for m in ok]),
+            failed=failed))
+    return out
+
+
+def aggregate_store(path: str) -> list[GroupStats]:
+    """Load a campaign store from *path* and aggregate it."""
+    from ..campaign import ResultStore
+
+    return aggregate_records(ResultStore(path).load().values())
+
+
+def render_campaign_table(stats: _t.Sequence[GroupStats],
+                          title: str = "campaign summary") -> str:
+    """Aggregates as a monospace table (one row per group)."""
+    if not stats:
+        return "(no completed cells)"
+    headers = ["group", "kind", "n", "mean", "p50", "p90", "min", "max",
+               "failed"]
+    rows = []
+    for s in stats:
+        rows.append([
+            s.group, s.kind, s.n,
+            f"{s.summary.mean:.1f}", f"{s.summary.p50:.1f}",
+            f"{s.summary.p90:.1f}", f"{s.summary.minimum:.1f}",
+            f"{s.summary.maximum:.1f}", s.failed,
+        ])
+    return render_table(headers, rows, title=title)

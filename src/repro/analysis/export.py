@@ -89,6 +89,7 @@ def metrics_to_dict(metrics: JobMetrics) -> dict:
 
 
 def metrics_to_json(metrics: JobMetrics, indent: int = 2) -> str:
+    """JSON-encode a JobMetrics (sorted keys, stable across runs)."""
     return json.dumps(metrics_to_dict(metrics), indent=indent, sort_keys=True)
 
 

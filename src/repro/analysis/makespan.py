@@ -37,6 +37,7 @@ class TaskInterval:
 
     @property
     def duration(self) -> float:
+        """Assigned-to-reported span in seconds."""
         return self.reported_at - self.assigned_at
 
 
@@ -51,6 +52,7 @@ class PhaseStats:
     slowest_host: str
 
     def as_row(self) -> tuple[float, float]:
+        """(mean, slowest-discarded mean) — one Table I cell pair."""
         return (self.mean, self.mean_discard_slowest)
 
 

@@ -87,6 +87,8 @@ class ClientConfig:
 
 
 class TaskState:
+    """Lifecycle states of a task on the client, download to report."""
+
     DOWNLOADING = "downloading"
     WAITING_CPU = "waiting_cpu"
     COMPUTING = "computing"
@@ -214,6 +216,7 @@ class ServerInputFetcher:
     """
 
     def fetch(self, client: "Client", task: ClientTask) -> _t.Generator:
+        """Download every input from the project data server, in parallel."""
         procs = [
             client.sim.process(download_with_retry(client, ref.name),
                                name=f"download:{client.name}:{ref.name}")
@@ -233,6 +236,7 @@ class ServerUploadPolicy:
     """Default BOINC behaviour: upload every output to the data server."""
 
     def handle(self, client: "Client", task: ClientTask) -> _t.Generator:
+        """Upload every output file to the project data server."""
         assert task.output is not None
         nice = client.config.nice_uploads
         procs = [
@@ -254,6 +258,7 @@ class GenericExecutor:
     """Deterministic placeholder app: digest depends only on the workunit."""
 
     def execute(self, client: "Client", task: ClientTask) -> OutputData:
+        """Produce a generic output sized at 10% of the inputs."""
         wu = task.assignment.wu
         out_size = sum(ref.size for ref in wu.input_files) * 0.1
         digest = f"wu:{wu.id}"
@@ -278,6 +283,7 @@ class Client:
                  input_fetcher: InputFetcher | None = None,
                  output_policy: OutputPolicy | None = None,
                  executor: Executor | None = None) -> None:
+        """Wire a client to its simulator, network, server and policies."""
         self.sim = sim
         self.net = net
         self.server = server
@@ -322,6 +328,7 @@ class Client:
 
     # -- lifecycle ---------------------------------------------------------------
     def start(self) -> None:
+        """Launch the work-fetch/execute main loop (once)."""
         if self._main_proc is not None:
             raise RuntimeError(f"client {self.name} already started")
         self._main_proc = self.sim.process(self._main(), name=f"client:{self.name}")

@@ -33,6 +33,7 @@ class ServerUnavailable(RuntimeError):
     """503-style refusal: the service is down or shedding load; retry later."""
 
     def __init__(self, what: str, retry_after_s: float = 0.0) -> None:
+        """Server refused *what*; retry no sooner than *retry_after_s*."""
         super().__init__(what)
         self.retry_after_s = retry_after_s
 
@@ -46,6 +47,7 @@ class DataServer:
 
     def __init__(self, sim: Simulator, net: Network, host: Host,
                  tracer: Tracer | None = None) -> None:
+        """An empty file store served from *host* over *net*."""
         self.sim = sim
         self.net = net
         self.host = host
@@ -72,9 +74,11 @@ class DataServer:
         self.files[ref.name] = ref
 
     def has(self, name: str) -> bool:
+        """True when *name* is published."""
         return name in self.files
 
     def unpublish(self, name: str) -> None:
+        """Remove *name* from the store (idempotent)."""
         self.files.pop(name, None)
 
     # -- fault hooks ----------------------------------------------------------

@@ -46,6 +46,8 @@ class ResultOutcome(enum.Enum):
 
 
 class ValidateState(enum.Enum):
+    """Validator verdict on a reported result (quorum agreement)."""
+
     INIT = "init"
     VALID = "valid"
     INVALID = "invalid"
@@ -78,6 +80,7 @@ class OutputData:
 
     @property
     def total_size(self) -> float:
+        """Summed size of all output files in bytes."""
         return sum(f.size for f in self.files)
 
 
@@ -140,6 +143,7 @@ class Result:
 
     @property
     def reported_success(self) -> bool:
+        """True when the result came back and succeeded."""
         return (self.state is ResultState.OVER
                 and self.outcome is ResultOutcome.SUCCESS)
 
@@ -172,6 +176,7 @@ class Database:
     """
 
     def __init__(self) -> None:
+        """An empty in-memory project database."""
         self.workunits: dict[int, Workunit] = {}
         self.results: dict[int, Result] = {}
         self.hosts: dict[int, HostRecord] = {}
@@ -193,6 +198,7 @@ class Database:
         return wu
 
     def new_wu_id(self) -> int:
+        """Allocate the next workunit id."""
         return next(self._wu_ids)
 
     def insert_result(self, wu: Workunit, created_at: float = 0.0) -> Result:
@@ -207,6 +213,7 @@ class Database:
 
     def insert_host(self, name: str, flops: float, supports_mr: bool = False,
                     client_version: str = "6.13.0") -> HostRecord:
+        """Create and index a host row."""
         hid = next(self._host_ids)
         rec = HostRecord(id=hid, name=name, flops=flops,
                          supports_mr=supports_mr, client_version=client_version,
@@ -217,6 +224,7 @@ class Database:
     # -- state transitions used by daemons --------------------------------------
     def mark_sent(self, res: Result, host: HostRecord, now: float,
                   deadline: float) -> None:
+        """Transition an UNSENT result to IN_PROGRESS on *host*."""
         if res.state is not ResultState.UNSENT:
             raise ValueError(f"result {res.name} is not unsent")
         res.state = ResultState.IN_PROGRESS
@@ -236,6 +244,7 @@ class Database:
 
     # -- queries ------------------------------------------------------------------
     def results_for_wu(self, wu_id: int) -> list[Result]:
+        """All result rows of one workunit."""
         return [self.results[rid] for rid in self._results_by_wu.get(wu_id, [])]
 
     def unsent_results(self) -> list[Result]:
@@ -249,12 +258,14 @@ class Database:
         }
 
     def workunits_by_job(self, job: str, kind: str | None = None) -> list[Workunit]:
+        """Workunits of one job, optionally filtered by kind."""
         return [
             wu for wu in self.workunits.values()
             if wu.mr_job == job and (kind is None or wu.mr_kind == kind)
         ]
 
     def in_progress_results(self) -> list[Result]:
+        """Every result currently out on a host."""
         return [r for r in self.results.values() if r.state is ResultState.IN_PROGRESS]
 
     def counts(self) -> dict[str, int]:

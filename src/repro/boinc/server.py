@@ -116,6 +116,8 @@ class Assignment:
 
 @dataclasses.dataclass(slots=True)
 class SchedulerRequest:
+    """One client-initiated scheduler RPC: work ask + piggybacked reports."""
+
     host_id: int
     work_req_s: float
     reports: list[ReportedResult] = dataclasses.field(default_factory=list)
@@ -123,6 +125,8 @@ class SchedulerRequest:
 
 @dataclasses.dataclass(slots=True)
 class SchedulerReply:
+    """Scheduler's answer: assignments plus the next-contact delay."""
+
     assignments: list[Assignment]
     request_delay_s: float
     #: True when the server currently has no work for this host.
@@ -145,6 +149,7 @@ class ProjectServer:
                  tracer: Tracer | None = None,
                  rng=None,
                  metrics: "MetricsRegistry | None" = None) -> None:
+        """Stand up the server (database, daemons, RPC gate) on *host*."""
         self.sim = sim
         self.net = net
         self.host = host
@@ -263,6 +268,7 @@ class ProjectServer:
     def register_host(self, name: str, flops: float,
                       supports_mr: bool = False,
                       hr_class: str = "") -> HostRecord:
+        """Add a volunteer host to the project database."""
         version = "6.11.1-mr" if supports_mr else "6.13.0"
         rec = self.db.insert_host(name, flops, supports_mr=supports_mr,
                                   client_version=version)

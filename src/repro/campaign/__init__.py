@@ -1,0 +1,46 @@
+"""Parallel experiment campaigns: declarative grids over a worker pool.
+
+The paper's evaluation is a grid of (scenario x seed) cells; this
+package runs such grids concurrently without giving up determinism:
+
+- :mod:`repro.campaign.grid` — :class:`CampaignCell` /
+  :class:`CampaignGrid`, content-hash cell keys, TOML grid loading;
+- :mod:`repro.campaign.cells` — :func:`execute_cell`, the per-kind cell
+  executors (scenario, table1, churn, replication, scale_out, sleep);
+- :mod:`repro.campaign.store` — the resumable append-only JSONL
+  :class:`ResultStore`;
+- :mod:`repro.campaign.runner` — :class:`CampaignRunner`: the
+  process-pool scheduler with per-cell timeout, retry, and quarantine.
+
+Builtin grids for the paper's sweeps live in
+:mod:`repro.experiments.grids`; aggregation of a finished store into
+tables lives in :mod:`repro.analysis.campaign`; the CLI front end is
+``python -m repro campaign``.
+"""
+
+from .cells import execute_cell
+from .grid import (
+    CELL_KINDS,
+    CampaignCell,
+    CampaignGrid,
+    canonical_json,
+    cell_key,
+    grid_from_toml,
+)
+from .runner import CampaignReport, CampaignRunner, run_campaign
+from .store import CellRecord, ResultStore
+
+__all__ = [
+    "CELL_KINDS",
+    "CampaignCell",
+    "CampaignGrid",
+    "CampaignReport",
+    "CampaignRunner",
+    "CellRecord",
+    "ResultStore",
+    "canonical_json",
+    "cell_key",
+    "execute_cell",
+    "grid_from_toml",
+    "run_campaign",
+]

@@ -8,6 +8,7 @@ study) and prints it; they are thin wrappers over
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 import typing as _t
 
@@ -182,6 +183,56 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .analysis import aggregate_store, render_campaign_table
+    from .campaign import CampaignRunner, ResultStore
+    from .experiments import GRID_BUILDERS, resolve_grid
+
+    if args.list_grids:
+        for name in sorted(GRID_BUILDERS):
+            grid = GRID_BUILDERS[name]()
+            print(f"{name:12s} {len(grid):3d} cells  {grid.description}")
+        return 0
+    if args.aggregate:
+        if not pathlib.Path(args.aggregate).exists():
+            print(f"campaign: no such store: {args.aggregate}",
+                  file=sys.stderr)
+            return 2
+        try:
+            groups = aggregate_store(args.aggregate)
+        except (ValueError, OSError) as exc:
+            print(f"campaign: {exc}", file=sys.stderr)
+            return 2
+        print(render_campaign_table(
+            groups, title=f"campaign store {args.aggregate} — "
+                          f"headline metric by group"))
+        return 0
+    seeds = None
+    if args.seeds:
+        try:
+            seeds = tuple(_seed_type(tok) for tok in args.seeds.split(","))
+        except argparse.ArgumentTypeError as exc:
+            print(f"campaign: bad --seeds value: {exc}", file=sys.stderr)
+            return 2
+    try:
+        grid = resolve_grid(args.grid, seeds=seeds, faults=args.faults)
+    except (ValueError, OSError) as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+    runner = CampaignRunner(
+        grid, ResultStore(args.out), workers=args.workers,
+        timeout_s=args.timeout, retries=args.retries, resume=args.resume,
+        echo=None if args.quiet else print)
+    report = runner.run()
+    print(report.render())
+    print(render_campaign_table(
+        aggregate_store(args.out),
+        title=f"campaign {grid.name!r} — headline metric by group"))
+    print(f"results in {args.out} "
+          f"(resume with --resume to skip completed cells)")
+    return 0 if report.ok else 1
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from .core import BoincMRConfig, CloudSpec, MapReduceJobSpec, VolunteerCloud
     from .obs import run_summary
@@ -232,6 +283,7 @@ def _seed_type(text: str) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser (all subcommands)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="BOINC-MR reproduction: regenerate the paper's tables, "
@@ -305,6 +357,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--reducers", type=int, default=4)
 
     p = sub.add_parser(
+        "campaign", parents=[common],
+        help="run a whole experiment grid (scenario x seed x fault-plan "
+             "cells) over a worker pool, into a resumable result store")
+    p.add_argument("--grid", default="table1",
+                   help="builtin grid name (see --list-grids) or a "
+                        "declarative TOML grid path (default table1)")
+    p.add_argument("--list-grids", action="store_true",
+                   help="list the builtin campaign grids and exit")
+    p.add_argument("--aggregate", metavar="FILE", default=None,
+                   help="render the aggregated table of an existing result "
+                        "store and exit (runs nothing)")
+    p.add_argument("--seeds", default=None, metavar="S1,S2,...",
+                   help="comma-separated seed fan-out "
+                        "(default: the grid's own, typically 1,2,3)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="worker processes (0 = sequential in-process "
+                        "reference mode; default 4)")
+    p.add_argument("--out", default="campaign.jsonl", metavar="FILE",
+                   help="JSONL result store (default campaign.jsonl)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip cells already completed in --out instead of "
+                        "starting the store over")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-cell wall-clock budget (default: unbounded)")
+    p.add_argument("--retries", type=int, default=1,
+                   help="extra attempts before quarantining a failing "
+                        "cell (default 1)")
+    p.add_argument("--faults", metavar="PLAN", default=None,
+                   help="arm a chaos plan on every cell (table1 grid only)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-cell progress lines")
+
+    p = sub.add_parser(
         "chaos", parents=[common],
         help="run a MapReduce job under a chaos plan, then audit the "
              "end state with RunAuditor")
@@ -333,6 +418,7 @@ _COMMANDS: dict[str, _t.Callable[[argparse.Namespace], int]] = {
     "churn": _cmd_churn,
     "planetlab": _cmd_planetlab,
     "run": _cmd_run,
+    "campaign": _cmd_campaign,
     "metrics": _cmd_metrics,
     "wordcount": _cmd_wordcount,
     "chaos": _cmd_chaos,
@@ -340,6 +426,7 @@ _COMMANDS: dict[str, _t.Callable[[argparse.Namespace], int]] = {
 
 
 def main(argv: _t.Sequence[str] | None = None) -> int:
+    """Entry point: parse *argv* and dispatch to the subcommand."""
     args = build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
 

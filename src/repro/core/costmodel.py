@@ -75,6 +75,7 @@ class MapReduceCostModel:
 
     def reduce_output_bytes(self, chunk_bytes: float, n_maps: int,
                             n_reducers: int) -> float:
+        """Final output bytes of one reduce task."""
         return (self.reduce_input_bytes(chunk_bytes, n_maps, n_reducers)
                 * self.final_output_ratio)
 

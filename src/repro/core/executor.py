@@ -31,6 +31,7 @@ class MapReduceExecutor:
                  byzantine_rate: float = 0.0,
                  platform_variance: bool = False,
                  rng: np.random.Generator | None = None) -> None:
+        """Create an executor; *byzantine_rate* corrupts that fraction of runs."""
         if not 0.0 <= byzantine_rate <= 1.0:
             raise ValueError("byzantine_rate must be in [0, 1]")
         self.jobtracker = jobtracker
@@ -43,6 +44,7 @@ class MapReduceExecutor:
         self._corruptions = 0
 
     def execute(self, client: Client, task: ClientTask) -> OutputData:
+        """Produce the output digest + file set for one map/reduce task."""
         wu = task.assignment.wu
         if wu.mr_job is None:
             raise ValueError(f"workunit {wu.id} is not a MapReduce task")

@@ -22,6 +22,8 @@ from ..boinc.model import FileRef
 
 @dataclasses.dataclass(slots=True)
 class ServedFile:
+    """A map output this client serves to peers until its lease expires."""
+
     ref: FileRef
     job: str
     expires_at: float
@@ -32,6 +34,7 @@ class PeerStore:
     """The files one BOINC-MR client is currently serving to peers."""
 
     def __init__(self, sim: Simulator, serve_timeout_s: float) -> None:
+        """An empty store whose entries expire after *serve_timeout_s*."""
         if serve_timeout_s <= 0:
             raise ValueError("serve_timeout_s must be positive")
         self.sim = sim

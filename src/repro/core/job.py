@@ -19,6 +19,8 @@ from .costmodel import WORD_COUNT, MapReduceCostModel
 
 
 class JobPhase(enum.Enum):
+    """Coarse MapReduce job state as driven by the JobTracker."""
+
     MAP = "map"
     REDUCE = "reduce"
     DONE = "done"
@@ -54,10 +56,12 @@ class MapReduceJobSpec:
 
     @property
     def map_flops(self) -> float:
+        """Compute cost of one map task, from the cost model."""
         return self.cost.map_flops(self.chunk_size)
 
     @property
     def reduce_flops(self) -> float:
+        """Compute cost of one reduce task, from the cost model."""
         return self.cost.reduce_flops(self.chunk_size, self.n_maps,
                                       self.n_reducers)
 
@@ -66,17 +70,21 @@ class MapReduceJobSpec:
         return self.cost.map_output_bytes(self.chunk_size, self.n_reducers)
 
     def reduce_output_size(self) -> float:
+        """Bytes one reduce task writes, from the cost model."""
         return self.cost.reduce_output_bytes(self.chunk_size, self.n_maps,
                                              self.n_reducers)
 
     # -- file naming conventions (shared by executor, fetcher, jobtracker) ----
     def map_input_file(self, map_index: int) -> str:
+        """Canonical name of map *map_index*'s input chunk."""
         return f"{self.name}_map{map_index}_in"
 
     def map_output_file(self, map_index: int, reduce_index: int) -> str:
+        """Canonical name of the (mapper, reducer) intermediate file."""
         return f"{self.name}_m{map_index}_r{reduce_index}"
 
     def reduce_output_file(self, reduce_index: int) -> str:
+        """Canonical name of reduce *reduce_index*'s final output."""
         return f"{self.name}_out{reduce_index}"
 
 
@@ -95,6 +103,7 @@ class MapReduceJob:
     """Runtime state of a submitted job (owned by the JobTracker)."""
 
     def __init__(self, sim: Simulator, spec: MapReduceJobSpec) -> None:
+        """Track *spec* through its phases on *sim* (starts in MAP)."""
         self.sim = sim
         self.spec = spec
         self.phase = JobPhase.MAP
@@ -114,18 +123,22 @@ class MapReduceJob:
     # -- progress ------------------------------------------------------------
     @property
     def maps_completed(self) -> int:
+        """Validated map tasks so far."""
         return len(self.map_tasks)
 
     @property
     def reduces_completed(self) -> int:
+        """Validated reduce tasks so far."""
         return len(self.reduce_done)
 
     @property
     def finished(self) -> bool:
+        """True in either terminal phase (DONE or FAILED)."""
         return self.phase in (JobPhase.DONE, JobPhase.FAILED)
 
     def record_map_validated(self, map_index: int, wu_id: int,
                              holders: _t.Sequence[str], now: float) -> None:
+        """A map WU passed validation; remember which hosts hold output."""
         if map_index in self.map_tasks:
             raise ValueError(f"map {map_index} already validated")
         self.map_tasks[map_index] = MapTaskRecord(
@@ -137,6 +150,7 @@ class MapReduceJob:
             self.map_phase_done.trigger(self)
 
     def record_reduce_validated(self, reduce_index: int, now: float) -> None:
+        """A reduce WU passed validation; flips to DONE on the last one."""
         if reduce_index in self.reduce_done:
             raise ValueError(f"reduce {reduce_index} already validated")
         self.reduce_done.add(reduce_index)
@@ -146,6 +160,7 @@ class MapReduceJob:
             self.done.trigger(self)
 
     def fail(self, reason: str) -> None:
+        """Mark the job FAILED with *reason* (no-op when already terminal)."""
         if self.finished:
             return
         self.phase = JobPhase.FAILED

@@ -26,6 +26,7 @@ class JobTracker:
     def __init__(self, sim: Simulator, server: ProjectServer,
                  config: BoincMRConfig | None = None,
                  tracer: Tracer | None = None) -> None:
+        """Attach the tracker to a server; jobs are added via submit()."""
         self.sim = sim
         self.server = server
         self.config = config or BoincMRConfig()
@@ -160,4 +161,5 @@ class JobTracker:
         }
 
     def spec(self, job_name: str) -> MapReduceJobSpec:
+        """Spec of a submitted job (KeyError if unknown)."""
         return self.jobs[job_name].spec

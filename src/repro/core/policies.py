@@ -39,12 +39,15 @@ class ClientDirectory:
     """
 
     def __init__(self) -> None:
+        """An empty directory."""
         self._clients: dict[str, Client] = {}
 
     def register(self, client: Client) -> None:
+        """Make *client* resolvable by its host name."""
         self._clients[client.name] = client
 
     def resolve(self, address: str) -> Client | None:
+        """Find the live client behind a ``host:port`` address, if any."""
         name = address.split(":", 1)[0]
         return self._clients.get(name)
 
@@ -56,10 +59,12 @@ class MapReduceOutputPolicy:
     """Dispose of task outputs per BOINC-MR rules (Section III.B/III.C)."""
 
     def __init__(self, jobtracker: JobTracker, config: BoincMRConfig) -> None:
+        """Output policy bound to one job tracker and BOINC-MR config."""
         self.jobtracker = jobtracker
         self.config = config
 
     def handle(self, client: Client, task: ClientTask) -> _t.Generator:
+        """Serve map outputs from the client or upload them (sim process)."""
         wu = task.assignment.wu
         assert task.output is not None
         is_mr_map = wu.mr_kind == "map" and client.record.supports_mr
@@ -91,6 +96,7 @@ class MapReduceInputFetcher:
                  relay: Host | None = None,
                  relay_selector: _t.Callable[[Host, Host], Host] | None = None,
                  rng: np.random.Generator | None = None) -> None:
+        """Input fetcher using *directory* for peer lookup, NAT-aware."""
         self.jobtracker = jobtracker
         self.directory = directory
         self.config = config
@@ -106,6 +112,7 @@ class MapReduceInputFetcher:
         self.server_fallbacks = 0
 
     def fetch(self, client: Client, task: ClientTask) -> _t.Generator:
+        """Download task inputs: server for maps, peers-then-server for reduces."""
         assignment = task.assignment
         wu = assignment.wu
         if wu.mr_kind != "reduce":

@@ -92,6 +92,7 @@ class VolunteerCloud:
                  tracer: Tracer | None = None,
                  metrics: MetricsRegistry | None = None,
                  **legacy: _t.Any) -> None:
+        """Build a cloud from a :class:`CloudSpec` (legacy kwargs deprecated)."""
         if isinstance(spec, int):  # historical positional seed
             legacy = {"seed": spec, **legacy}
             spec = None

@@ -51,6 +51,7 @@ class MapReduceWorkflow:
     def __init__(self, cloud: "VolunteerCloud", name: str,
                  stages: _t.Sequence[WorkflowStage],
                  input_size: float) -> None:
+        """A workflow of *stages* over *input_size* bytes on *cloud*."""
         if not stages:
             raise ValueError("workflow needs at least one stage")
         if input_size <= 0:
@@ -113,6 +114,7 @@ class MapReduceWorkflow:
     # -- results ------------------------------------------------------------------
     @property
     def finished(self) -> bool:
+        """True once every stage has completed."""
         return self.done.triggered
 
     def makespan(self) -> float | None:
@@ -122,6 +124,7 @@ class MapReduceWorkflow:
         return self.jobs[-1].finished_at - self.jobs[0].submitted_at
 
     def stage_makespans(self) -> list[float]:
+        """Per-stage makespans in submission order."""
         return [job.makespan() or 0.0 for job in self.jobs]
 
 

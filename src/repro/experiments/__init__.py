@@ -8,6 +8,14 @@ from .ablations import (
 )
 from .churn import ChurnOutcome, churn_scenario, run_churn
 from .fig4 import Fig4Result, fig4_scenario, run_fig4
+from .grids import (
+    GRID_BUILDERS,
+    churn_grid,
+    replication_grid,
+    resolve_grid,
+    scale_out_grid,
+    table1_grid,
+)
 from .planetlab import (
     InternetDeployment,
     build_internet_cloud,
@@ -94,4 +102,10 @@ __all__ = [
     "run_load_point",
     "run_load_sweep",
     "congestion_ratio",
+    "GRID_BUILDERS",
+    "resolve_grid",
+    "table1_grid",
+    "churn_grid",
+    "replication_grid",
+    "scale_out_grid",
 ]

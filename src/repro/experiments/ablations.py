@@ -130,6 +130,7 @@ def ablate_concurrent_jobs(seed: int = 1, n_jobs: int = 3) -> AblationOutcome:
 
 
 def run_all(seed: int = 1) -> list[AblationOutcome]:
+    """Run every ablation at one seed."""
     return [
         ablate_report_immediately(seed),
         ablate_intermediate_downloads(seed),

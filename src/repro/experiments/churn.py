@@ -24,6 +24,8 @@ from .scenario import Scenario, ScenarioResult, build_cloud, job_spec
 
 @dataclasses.dataclass(slots=True)
 class ChurnOutcome:
+    """Churn-study result: job metrics plus the volatility it survived."""
+
     result: ScenarioResult
     transitions: int
     departed: int
@@ -33,10 +35,12 @@ class ChurnOutcome:
 
     @property
     def total(self) -> float:
+        """Total job makespan in seconds."""
         return self.result.metrics.total
 
 
 def churn_scenario(seed: int = 1, mr: bool = True) -> Scenario:
+    """The churn-study deployment (20 nodes, 20 maps, 5 reducers)."""
     return Scenario(
         name="churn",
         n_nodes=20, n_maps=20, n_reducers=5, mr_clients=mr, seed=seed,

@@ -31,6 +31,7 @@ class MapTimeline:
 
     @property
     def report_lag(self) -> float | None:
+        """Output-ready to reported, the paper's delay metric."""
         if self.ready_at is None:
             return None
         return self.reported_at - self.ready_at
@@ -38,6 +39,8 @@ class MapTimeline:
 
 @dataclasses.dataclass(slots=True)
 class Fig4Result:
+    """Fig. 4 reproduction: per-result map timelines + the straggler."""
+
     result: ScenarioResult
     timelines: list[MapTimeline]
     straggler_host: str
@@ -45,6 +48,7 @@ class Fig4Result:
     reduce_start: float
 
     def render(self, width: int = 64) -> str:
+        """ASCII Gantt of every map result's assigned-to-reported span."""
         events = [
             (f"{t.host}/r{t.result_id}", t.assigned_at, t.reported_at)
             for t in sorted(self.timelines,
@@ -59,11 +63,13 @@ class Fig4Result:
 
 
 def fig4_scenario(seed: int) -> Scenario:
+    """The paper's Fig. 4 deployment: 15 nodes, 15 map WUs."""
     return Scenario(name="fig4", n_nodes=15, n_maps=15, n_reducers=3,
                     mr_clients=False, seed=seed)
 
 
 def extract_timelines(result: ScenarioResult) -> list[MapTimeline]:
+    """Pull per-map-result timelines out of a run's trace."""
     ready_at = {rec["result"]: rec.time
                 for rec in result.tracer.select("task.ready")}
     out = []

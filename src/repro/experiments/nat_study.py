@@ -56,6 +56,7 @@ LADDERS: dict[str, TraversalConfig] = {
 
 def nat_scenario(seed: int, traversal_label: str = "full_ladder",
                  mix: dict[NatType, float] | None = None) -> Scenario:
+    """20-node scenario with a sampled NAT population and traversal config."""
     rng = RngRegistry(seed).stream("nat_population")
     nats = sample_nat_population(rng, 20, mix=mix or INTERNET_MIX)
     return Scenario(

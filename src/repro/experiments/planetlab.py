@@ -48,6 +48,7 @@ class InternetDeployment:
 
     @property
     def total(self) -> float:
+        """Total job makespan in seconds."""
         return self.metrics.total
 
 
@@ -76,6 +77,7 @@ def build_internet_cloud(seed: int, n_nodes: int, mr: bool,
 def run_internet_deployment(seed: int = 1, n_nodes: int = 20, mr: bool = True,
                             n_maps: int = 20, n_reducers: int = 5,
                             input_size: float = 1e9) -> InternetDeployment:
+    """Run one word-count job on the PlanetLab-like internet topology."""
     cloud = build_internet_cloud(seed, n_nodes, mr)
     name = f"planetlab_{'mr' if mr else 'vanilla'}"
     job = cloud.run_job(MapReduceJobSpec(

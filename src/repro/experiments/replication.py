@@ -25,6 +25,8 @@ from ..core import CloudSpec, MapReduceJobSpec, VolunteerCloud
 
 @dataclasses.dataclass(slots=True)
 class ReplicationOutcome:
+    """One replication/quorum sweep cell: cost vs byzantine resilience."""
+
     replication: int
     quorum: int
     byzantine_rate: float
@@ -42,6 +44,7 @@ class ReplicationOutcome:
 def run_replication(replication: int, quorum: int,
                     byzantine_rate: float = 0.0, seed: int = 5,
                     n_nodes: int = 12) -> ReplicationOutcome:
+    """Run one job at a given replication factor / quorum setting."""
     cloud = VolunteerCloud.from_spec(CloudSpec(seed=seed))
     cloud.add_volunteers(n_nodes, mr=True, byzantine_rate=byzantine_rate)
     spec = MapReduceJobSpec("repl", n_maps=12, n_reducers=3,

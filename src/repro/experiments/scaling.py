@@ -36,6 +36,8 @@ SCALE_NODE_COUNTS: tuple[int, ...] = (100, 500, 2000)
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class SweepPoint:
+    """One point on a scaling sweep: x = swept value, y = makespans."""
+
     x: int
     total: float
     map_mean: float
@@ -111,6 +113,7 @@ class ScalePoint:
     peak_queue_depth: int
 
     def as_dict(self) -> dict[str, _t.Any]:
+        """Plain-dict form for JSON export."""
         return dataclasses.asdict(self)
 
 

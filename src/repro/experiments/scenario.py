@@ -84,6 +84,7 @@ class Scenario:
         return self.link
 
     def default_mr_config(self) -> BoincMRConfig:
+        """The effective BOINC-MR config (explicit, or derived)."""
         if self.mr_config is not None:
             return self.mr_config
         if self.mr_clients:
@@ -115,6 +116,7 @@ class ScenarioResult:
 
     @property
     def total(self) -> float:
+        """Total job makespan in seconds."""
         return self.metrics.total
 
 
@@ -133,6 +135,7 @@ def build_cloud(scenario: Scenario) -> VolunteerCloud:
 
 
 def job_spec(scenario: Scenario) -> MapReduceJobSpec:
+    """The MapReduceJobSpec a scenario's deployment will run."""
     return MapReduceJobSpec(
         name=scenario.name,
         n_maps=scenario.n_maps,

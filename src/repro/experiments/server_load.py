@@ -36,12 +36,14 @@ class LoadPoint:
 
     @property
     def label(self) -> str:
+        """Short ``<nodes>n/<mode>`` tag for tables."""
         mode = "immediate" if self.report_immediately else "batched"
         return f"{self.n_nodes}n/{mode}"
 
 
 def run_load_point(n_nodes: int, report_immediately: bool,
                    seed: int = 1, rpc_capacity: int = 10) -> LoadPoint:
+    """Measure scheduler RPC load at one deployment size / report mode."""
     scenario = Scenario(
         name="load",
         n_nodes=n_nodes,

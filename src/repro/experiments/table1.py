@@ -23,6 +23,7 @@ class PaperCell:
     discarded: float | None = None
 
     def text(self) -> str:
+        """Render as the paper does: ``mean [discarded]``."""
         if self.discarded is None:
             return f"{self.mean:.0f}"
         return f"{self.mean:.0f} [{self.discarded:.0f}]"
@@ -42,6 +43,7 @@ class Table1Row:
 
     @property
     def label(self) -> str:
+        """Stable row id, e.g. ``boinc-mr_20n_20m_5r``."""
         kind = "boinc-mr" if self.mr else "boinc"
         return f"{kind}_{self.nodes}n_{self.n_maps}m_{self.n_reducers}r"
 
@@ -75,21 +77,25 @@ class Table1Record:
 
     @property
     def measured_map(self) -> tuple[float, float]:
+        """(mean, slowest-discarded mean) of the map phase."""
         s = self.result.metrics.map_stats
         return (s.mean, s.mean_discard_slowest)
 
     @property
     def measured_reduce(self) -> tuple[float, float]:
+        """(mean, slowest-discarded mean) of the reduce phase."""
         s = self.result.metrics.reduce_stats
         return (s.mean, s.mean_discard_slowest)
 
     @property
     def measured_total(self) -> tuple[float, float]:
+        """(total, slowest-discarded total) makespan."""
         m = self.result.metrics
         return (m.total, m.total_discard_slowest)
 
 
 def scenario_for_row(row: Table1Row, seed: int = 1, **overrides: _t.Any) -> Scenario:
+    """Build the deployment Scenario matching one Table I row."""
     return Scenario(
         name=row.label,
         n_nodes=row.nodes,

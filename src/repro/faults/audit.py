@@ -57,9 +57,11 @@ class AuditReport:
 
     @property
     def ok(self) -> bool:
+        """True when no invariant was violated."""
         return not self.violations
 
     def render(self) -> str:
+        """Human-readable audit summary (one line per check/violation)."""
         lines = [f"audit at t={self.at:g}: "
                  + ("OK" if self.ok else f"{len(self.violations)} violation(s)")]
         for name in sorted(self.checks):
@@ -69,6 +71,7 @@ class AuditReport:
         return "\n".join(lines)
 
     def to_dict(self) -> dict[str, _t.Any]:
+        """JSON-serialisable form of the report."""
         return {
             "ok": self.ok,
             "at": self.at,
@@ -78,9 +81,10 @@ class AuditReport:
 
 
 class RunAuditor:
-    """End-state invariant checker for a :class:`VolunteerCloud`."""
+    """End-state invariant checker for a :class:`repro.core.system.VolunteerCloud`."""
 
     def __init__(self, cloud: "VolunteerCloud") -> None:
+        """Auditor over one finished (or quiesced) cloud."""
         self.cloud = cloud
 
     # -- quiescing --------------------------------------------------------------

@@ -33,11 +33,12 @@ _PER_HOST = frozenset({"link_flap", "bandwidth", "peer_corrupt",
 
 
 class FaultInjector:
-    """Arms one chaos plan against one :class:`VolunteerCloud`."""
+    """Arms one chaos plan against one :class:`repro.core.system.VolunteerCloud`."""
 
     def __init__(self, cloud: "VolunteerCloud",
                  plan: "ChaosPlan | _t.Sequence[FaultSpec]",
                  rng: np.random.Generator | None = None) -> None:
+        """Arm *plan*'s faults against *cloud* (scheduled at start())."""
         self.cloud = cloud
         self.specs: tuple[FaultSpec, ...] = tuple(getattr(plan, "faults", plan))
         self.plan_name = getattr(plan, "name", "custom")

@@ -84,6 +84,7 @@ class FaultSpec:
                    params=params)
 
     def to_dict(self) -> dict[str, _t.Any]:
+        """Flat dict form (params inlined) for logs and campaign cells."""
         out: dict[str, _t.Any] = {"kind": self.kind, "at": self.at,
                                   "duration": self.duration}
         if self.target:

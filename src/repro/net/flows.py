@@ -56,6 +56,7 @@ class Link:
     __slots__ = ("name", "capacity", "bytes_carried")
 
     def __init__(self, name: str, capacity_bps: float) -> None:
+        """A shared link with *capacity_bps* bytes/s of capacity."""
         if capacity_bps <= 0:
             raise ValueError(f"link {name!r} capacity must be positive")
         self.name = name
@@ -92,6 +93,7 @@ class Flow:
 
     def __init__(self, sim: Simulator, name: str, links: _t.Sequence[Link],
                  size: float, max_rate: float | None, background: bool) -> None:
+        """A transfer of *size* bytes over *links* (internal; see start_flow)."""
         if size < 0:
             raise ValueError(f"flow size must be >= 0, got {size}")
         if not links:
@@ -118,6 +120,7 @@ class Flow:
 
     @property
     def finished(self) -> bool:
+        """True once the last byte has been accounted."""
         return self.done.triggered
 
     def eta(self) -> float:
@@ -285,23 +288,28 @@ class FullAllocator:
     name = "full"
 
     def __init__(self) -> None:
+        """Unbound allocator; :meth:`bind` attaches it to a network."""
         self.net: FlowNetwork | None = None
         self._version = 0
         self._last_update = 0.0
         self._used: dict[Link, float] = {}
 
     def bind(self, net: "FlowNetwork") -> None:
+        """Attach to *net* and start the global progress clock."""
         self.net = net
         self._last_update = net.sim.now
 
     # -- protocol -------------------------------------------------------------
     def add(self, flow: Flow) -> None:
+        """Globally re-run max-min over every active flow."""
         self._reallocate()
 
     def remove(self, flow: Flow) -> None:
+        """Globally re-run max-min over the survivors."""
         self._reallocate()
 
     def advance(self, flow: Flow | None = None) -> None:
+        """Account progress for every flow (scope is always global here)."""
         net = self.net
         dt = net.sim.now - self._last_update
         if dt > 0:
@@ -313,16 +321,20 @@ class FullAllocator:
         self._last_update = net.sim.now
 
     def refresh(self) -> None:
+        """Globally reallocate after a capacity change."""
         self._reallocate()
 
     def link_used(self, link: Link) -> float:
+        """Summed allocated rate over *link* (cached sum, O(1))."""
         return self._used.get(link, 0.0)
 
     def flows_using(self, links: _t.Sequence[Link]) -> list[Flow]:
+        """Scan all active flows for any touching *links*."""
         lset = set(links)
         return [f for f in self.net._active if not lset.isdisjoint(f.links)]
 
     def component_count(self) -> int:
+        """One global domain (or zero when idle)."""
         return 1 if self.net._active else 0
 
     # -- internals ------------------------------------------------------------
@@ -418,6 +430,7 @@ class IncrementalAllocator:
     name = "incremental"
 
     def __init__(self) -> None:
+        """Unbound allocator with no components yet."""
         self.net: FlowNetwork | None = None
         self._comps: dict[_Component, None] = {}
         self._flow_comp: dict[Flow, _Component] = {}
@@ -425,10 +438,12 @@ class IncrementalAllocator:
         self._used: dict[Link, float] = {}
 
     def bind(self, net: "FlowNetwork") -> None:
+        """Attach to *net*."""
         self.net = net
 
     # -- protocol -------------------------------------------------------------
     def add(self, flow: Flow) -> None:
+        """Merge the components *flow*'s links touch, then resettle one."""
         now = self.net.sim.now
         comp: _Component | None = None
         for link in flow.links:
@@ -452,11 +467,13 @@ class IncrementalAllocator:
         self._settle(comp)
 
     def remove(self, flow: Flow) -> None:
+        """Drop *flow* and split its component if it disconnected."""
         comp = self._flow_comp.pop(flow)
         del comp.flows[flow]
         self._resettle(comp)
 
     def advance(self, flow: Flow | None = None) -> None:
+        """Account progress for *flow*'s component only (or all)."""
         now = self.net.sim.now
         if flow is None:
             for comp in self._comps:
@@ -465,6 +482,7 @@ class IncrementalAllocator:
             self._advance_comp(self._flow_comp[flow], now)
 
     def refresh(self) -> None:
+        """Refill every component; membership is capacity-invariant."""
         # Capacity changes alter rates, never the link→flow structure, so
         # component membership is preserved; every component refills.
         for comp in list(self._comps):
@@ -472,9 +490,11 @@ class IncrementalAllocator:
             self._settle(comp)
 
     def link_used(self, link: Link) -> float:
+        """Summed allocated rate over *link* (cached sum, O(1))."""
         return self._used.get(link, 0.0)
 
     def flows_using(self, links: _t.Sequence[Link]) -> list[Flow]:
+        """Collect flows from only the components touching *links*."""
         lset = set(links)
         out: list[Flow] = []
         seen: set[int] = set()
@@ -488,6 +508,7 @@ class IncrementalAllocator:
         return out
 
     def component_count(self) -> int:
+        """Live link-connected components."""
         return len(self._comps)
 
     # -- internals ------------------------------------------------------------
@@ -651,6 +672,7 @@ class FlowNetwork:
     def __init__(self, sim: Simulator, tracer: Tracer | None = None,
                  metrics: "MetricsRegistry | None" = None,
                  allocator: "str | RateAllocator" = "incremental") -> None:
+        """Create an empty network on *sim*; see the class doc for knobs."""
         self.sim = sim
         self.tracer = tracer
         #: Optional :class:`repro.obs.MetricsRegistry` for flow counters

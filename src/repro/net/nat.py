@@ -123,6 +123,7 @@ class ConnectivityPolicy:
 
     def __init__(self, config: TraversalConfig | None = None,
                  rng: np.random.Generator | None = None) -> None:
+        """Traversal policy with its own rng for probabilistic outcomes."""
         self.config = config or TraversalConfig()
         self.rng = rng or np.random.default_rng(0)
         self.attempts: list[tuple[str, str, TraversalOutcome]] = []

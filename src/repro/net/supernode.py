@@ -43,6 +43,7 @@ class SupernodeScore:
 
     @property
     def sort_key(self) -> tuple:
+        """Election order: reachable first, then fastest uplink, then name."""
         return (not self.reachable, -self.up_bps, self.host.name)
 
 
@@ -75,6 +76,7 @@ class SupernodeOverlay:
 
     def __init__(self, hosts: _t.Sequence[Host], n_supernodes: int = 3,
                  fanout: int = 2) -> None:
+        """Elect supernodes from *hosts* and attach everyone else."""
         if fanout < 1:
             raise ValueError("fanout must be >= 1")
         self.supernodes: list[Host] = elect_supernodes(hosts, n_supernodes)

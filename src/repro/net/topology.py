@@ -52,6 +52,7 @@ class Host:
 
     def __init__(self, name: str, spec: LinkSpec,
                  nat: "NatBox | None" = None) -> None:
+        """A host with dedicated up/down access links (and optional NAT)."""
         self.name = name
         self.spec = spec
         self.nat = nat
@@ -62,6 +63,7 @@ class Host:
 
     @property
     def behind_nat(self) -> bool:
+        """True when this host sits behind a real (non-NONE) NAT box."""
         from .nat import NatType
 
         return self.nat is not None and self.nat.nat_type is not NatType.NONE
@@ -89,6 +91,7 @@ class Network:
     def __init__(self, sim: Simulator, tracer: Tracer | None = None,
                  metrics: "MetricsRegistry | None" = None,
                  allocator: str = "incremental") -> None:
+        """An empty network over *sim*'s clock with the chosen allocator."""
         self.sim = sim
         self.tracer = tracer
         self.flownet = FlowNetwork(sim, tracer=tracer, metrics=metrics,
@@ -112,6 +115,7 @@ class Network:
         return host
 
     def host(self, name: str) -> Host:
+        """Look up a host by name (KeyError if absent)."""
         return self.hosts[name]
 
     # -- transfers ----------------------------------------------------------------
@@ -120,6 +124,7 @@ class Network:
         return src.spec.latency_s + dst.spec.latency_s
 
     def rtt(self, src: Host, dst: Host) -> float:
+        """Round-trip time between two hosts."""
         return 2.0 * self.latency(src, dst)
 
     def transfer(self, src: Host, dst: Host, size_bytes: float,

@@ -26,6 +26,7 @@ class TransferFailed(RuntimeError):
     """An inter-client download could not be completed."""
 
     def __init__(self, reason: str, outcome: TraversalOutcome | None = None) -> None:
+        """Failure with a reason and, for NAT failures, the traversal outcome."""
         super().__init__(reason)
         self.reason = reason
         self.outcome = outcome
@@ -40,6 +41,7 @@ class SimSemaphore:
     """
 
     def __init__(self, sim: Simulator, capacity: int, name: str = "") -> None:
+        """A counting semaphore with *capacity* slots on *sim*'s clock."""
         if capacity < 1:
             raise ValueError("semaphore capacity must be >= 1")
         self.sim = sim
@@ -54,6 +56,7 @@ class SimSemaphore:
         self.cancelled_total = 0
 
     def acquire(self) -> Event:
+        """Request a slot; the returned event triggers when granted."""
         ev = self.sim.event(name=f"sem:{self.name}")
         if self.in_use < self.capacity:
             self.in_use += 1
@@ -64,6 +67,7 @@ class SimSemaphore:
         return ev
 
     def release(self) -> None:
+        """Return a slot, handing it straight to the next waiter if any."""
         if self.in_use <= 0:
             raise RuntimeError(f"semaphore {self.name!r} released below zero")
         self.released_total += 1
@@ -109,6 +113,7 @@ class SimSemaphore:
 
     @property
     def waiting(self) -> int:
+        """How many acquirers are queued for a slot."""
         return len(self._waiters)
 
 
@@ -117,6 +122,7 @@ class TransferEndpoint:
 
     def __init__(self, sim: Simulator, host: Host,
                  max_upload_conns: int = 8, max_download_conns: int = 8) -> None:
+        """Connection-slot semaphores for one host's uploads/downloads."""
         self.host = host
         self.upload_slots = SimSemaphore(sim, max_upload_conns,
                                          name=f"{host.name}.up")
@@ -144,6 +150,7 @@ class TransferRecord:
 
     @property
     def duration(self) -> float:
+        """Wall-clock (sim) seconds the transfer took."""
         return self.finished_at - self.started_at
 
 

@@ -107,6 +107,7 @@ def chrome_trace_json(builder: SpanBuilder, indent: int | None = None) -> str:
 
 
 def write_chrome_trace(builder: SpanBuilder, path: str) -> None:
+    """Write the builder's spans as a Chrome trace-event file."""
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(chrome_trace_json(builder))
 

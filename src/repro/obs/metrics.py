@@ -42,11 +42,13 @@ class Counter:
     __slots__ = ("name", "help", "value")
 
     def __init__(self, name: str, help: str = "") -> None:
+        """Create the counter at zero."""
         self.name = name
         self.help = help
         self.value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be non-negative) to the total."""
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease")
         self.value += amount
@@ -62,21 +64,25 @@ class Gauge:
 
     def __init__(self, name: str, help: str = "",
                  fn: _t.Callable[[], float] | None = None) -> None:
+        """Create the gauge; *fn*, when given, supplies the live value."""
         self.name = name
         self.help = help
         self._value = 0.0
         self._fn = fn
 
     def set(self, value: float) -> None:
+        """Overwrite the level (explicit gauges only)."""
         if self._fn is not None:
             raise ValueError(f"gauge {self.name!r} is callback-backed")
         self._value = float(value)
 
     def add(self, amount: float) -> None:
+        """Shift the level by *amount* (may be negative)."""
         self.set(self._value + amount)
 
     @property
     def value(self) -> float:
+        """Current level — the callback's answer when callback-backed."""
         if self._fn is not None:
             return float(self._fn())
         return self._value
@@ -165,6 +171,7 @@ class Histogram:
     def __init__(self, name: str, help: str = "",
                  buckets: _t.Sequence[float] = DEFAULT_BUCKETS,
                  quantiles: _t.Sequence[float] = DEFAULT_QUANTILES) -> None:
+        """Create an empty histogram with the given bucket bounds."""
         if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
             raise ValueError("histogram buckets must be strictly increasing")
         self.name = name
@@ -179,6 +186,7 @@ class Histogram:
         self._estimators = {q: _P2Estimator(q) for q in quantiles}
 
     def observe(self, value: float) -> None:
+        """Record one observation into buckets and quantile estimators."""
         self.count += 1
         self.total += value
         self.min = min(self.min, value)
@@ -194,6 +202,7 @@ class Histogram:
 
     @property
     def mean(self) -> float:
+        """Arithmetic mean of all observations (NaN when empty)."""
         return self.total / self.count if self.count else math.nan
 
     def quantile(self, q: float) -> float:
@@ -201,6 +210,7 @@ class Histogram:
         return self._estimators[q].estimate()
 
     def quantiles(self) -> dict[float, float]:
+        """All tracked quantile estimates, keyed by q."""
         return {q: est.estimate() for q, est in self._estimators.items()}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -238,10 +248,12 @@ class MetricsRegistry:
         return inst
 
     def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the :class:`Counter` called *name*."""
         return self._get_or_create(name, lambda: Counter(name, help), Counter)
 
     def gauge(self, name: str, help: str = "",
               fn: _t.Callable[[], float] | None = None) -> Gauge:
+        """Get or create the :class:`Gauge` called *name*."""
         gauge = self._get_or_create(name, lambda: Gauge(name, help, fn=fn), Gauge)
         if fn is not None and gauge._fn is None:
             gauge._fn = fn  # upgrade an explicit gauge to callback-backed
@@ -250,6 +262,7 @@ class MetricsRegistry:
     def histogram(self, name: str, help: str = "",
                   buckets: _t.Sequence[float] = DEFAULT_BUCKETS,
                   quantiles: _t.Sequence[float] = DEFAULT_QUANTILES) -> Histogram:
+        """Get or create the :class:`Histogram` called *name*."""
         return self._get_or_create(
             name, lambda: Histogram(name, help, buckets, quantiles), Histogram)
 
@@ -258,9 +271,11 @@ class MetricsRegistry:
         return name in self._instruments
 
     def get(self, name: str) -> Instrument | None:
+        """The instrument called *name*, or None."""
         return self._instruments.get(name)
 
     def instruments(self) -> list[Instrument]:
+        """Every registered instrument, sorted by name."""
         return [self._instruments[k] for k in sorted(self._instruments)]
 
     def sample_gauges(self, time: float) -> None:
@@ -333,6 +348,7 @@ class Sampler:
 
     def __init__(self, sim: "Simulator", registry: MetricsRegistry,
                  period_s: float = 30.0) -> None:
+        """Start the sampling process on *sim* with the given period."""
         if period_s <= 0:
             raise ValueError("sampler period must be positive")
         self.sim = sim
@@ -348,5 +364,6 @@ class Sampler:
             yield self.period_s
 
     def stop(self) -> None:
+        """Interrupt the sampling process (idempotent)."""
         if self._proc.alive:
             self._proc.interrupt("sampler stopped")

@@ -29,7 +29,7 @@ if _t.TYPE_CHECKING:  # pragma: no cover
 def attach_standard_probes(cloud: "VolunteerCloud",
                            registry: MetricsRegistry | None = None
                            ) -> MetricsRegistry:
-    """Register the standard gauge set for a :class:`VolunteerCloud`.
+    """Register the standard gauge set for a :class:`repro.core.system.VolunteerCloud`.
 
     Idempotent per registry (gauges are get-or-create).  Returns the
     registry the probes were attached to (``cloud.metrics`` by default).
@@ -94,6 +94,7 @@ class SelfProfiler:
     """
 
     def __init__(self, sim: Simulator | None = None) -> None:
+        """Create the profiler; installs on *sim* immediately when given."""
         self.totals: dict[str, list[float]] = {}  # kind -> [count, seconds]
         self._sim: Simulator | None = None
         if sim is not None:
@@ -101,6 +102,7 @@ class SelfProfiler:
 
     # -- lifecycle ------------------------------------------------------------
     def install(self, sim: Simulator) -> "SelfProfiler":
+        """Hook the simulator's dispatch loop; returns self."""
         if sim.dispatch_hook is not None:
             raise RuntimeError("simulator already has a dispatch hook")
         sim.dispatch_hook = self._observe
@@ -108,6 +110,7 @@ class SelfProfiler:
         return self
 
     def uninstall(self) -> None:
+        """Remove the dispatch hook (idempotent)."""
         if self._sim is not None and self._sim.dispatch_hook == self._observe:
             self._sim.dispatch_hook = None
         self._sim = None
@@ -132,6 +135,7 @@ class SelfProfiler:
     # -- reporting ------------------------------------------------------------
     @property
     def total_seconds(self) -> float:
+        """Wall-clock seconds spent dispatching, all kinds."""
         return sum(seconds for _count, seconds in self.totals.values())
 
     def top(self, n: int = 5) -> list[tuple[str, int, float]]:
@@ -142,6 +146,7 @@ class SelfProfiler:
         return rows[:n]
 
     def render(self, top: int = 5) -> str:
+        """Plain-text profile of the *top* costliest callback kinds."""
         total = self.total_seconds
         lines = [f"total dispatch wall time: {total * 1e3:.1f} ms over "
                  f"{sum(int(c) for c, _s in self.totals.values())} callbacks"]
@@ -152,5 +157,6 @@ class SelfProfiler:
         return "\n".join(lines)
 
     def snapshot(self) -> dict[str, dict[str, float]]:
+        """JSON-ready {kind: {count, seconds}} dump."""
         return {kind: {"count": count, "seconds": seconds}
                 for kind, (count, seconds) in sorted(self.totals.items())}

@@ -63,6 +63,7 @@ class Span:
 
     @property
     def duration(self) -> float:
+        """Span length in simulated seconds."""
         return self.end - self.start
 
 
@@ -98,10 +99,11 @@ class SpanBuilder:
 
     Attach with ``SpanBuilder(tracer)`` (registers itself as a tap) before
     the run starts; afterwards call :meth:`finish` once, then read
-    :attr:`spans`, :attr:`instants`, and :attr:`leaked`.
+    ``spans``, ``instants``, and ``leaked``.
     """
 
     def __init__(self, tracer: Tracer) -> None:
+        """Subscribe to *tracer* and start assembling spans."""
         self.tracer = tracer
         self.spans: list[Span] = []
         self.instants: list[Instant] = []

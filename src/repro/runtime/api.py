@@ -57,15 +57,18 @@ class MapReduceApp:
     name: str = "app"
 
     def map(self, key: _t.Any, value: _t.Any) -> _t.Iterable[tuple[_t.Any, _t.Any]]:
+        """Emit (k2, v2) pairs for one input record."""
         raise NotImplementedError
 
     def reduce(self, key: _t.Any, values: list) -> _t.Iterable[_t.Any]:
+        """Fold all values of one key into output values."""
         raise NotImplementedError
 
     #: Optional combiner; when set, runs as a local reduce per map task.
     combine: ReduceFn | None = None
 
     def partition(self, key: _t.Any, n_reducers: int) -> int:
+        """Reducer index for *key* (hash mod R by default)."""
         return default_partition(key, n_reducers)
 
 
@@ -75,13 +78,16 @@ class FnApp(MapReduceApp):
     def __init__(self, map_fn: MapFn, reduce_fn: ReduceFn,
                  combine_fn: ReduceFn | None = None,
                  name: str = "fn_app") -> None:
+        """Wrap *map_fn*/*reduce_fn* (and optional combiner) as an app."""
         self._map = map_fn
         self._reduce = reduce_fn
         self.combine = combine_fn
         self.name = name
 
     def map(self, key, value):
+        """Delegate to the wrapped map callable."""
         return self._map(key, value)
 
     def reduce(self, key, values):
+        """Delegate to the wrapped reduce callable."""
         return self._reduce(key, values)

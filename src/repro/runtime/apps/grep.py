@@ -20,14 +20,17 @@ class DistributedGrep(MapReduceApp):
     name = "grep"
 
     def __init__(self, pattern: bytes) -> None:
+        """Compile the search *pattern*."""
         self.regex = re.compile(pattern)
 
     def map(self, key: int, value: bytes) -> _t.Iterator[tuple[bytes, bytes]]:
+        """Emit (matched text, full line) when the line matches."""
         match = self.regex.search(value)
         if match is not None:
             yield match.group(0), value
 
     def reduce(self, key: bytes, values: list[bytes]) -> _t.Iterator[list[bytes]]:
+        """Collect the matching lines per pattern hit, sorted."""
         yield sorted(values)
 
 
@@ -39,14 +42,18 @@ class MatchCount(MapReduceApp):
     name = "matchcount"
 
     def __init__(self, pattern: bytes) -> None:
+        """Compile the search *pattern*."""
         self.regex = re.compile(pattern)
 
     def map(self, key: int, value: bytes) -> _t.Iterator[tuple[bytes, int]]:
+        """Emit (match, 1) per regex hit in the line."""
         for match in self.regex.finditer(value):
             yield match.group(0), 1
 
     def reduce(self, key: bytes, values: list[int]) -> _t.Iterator[int]:
+        """Total hits for this match text."""
         yield sum(values)
 
     def combine(self, key: bytes, values: list[int]) -> _t.Iterator[int]:
+        """Local pre-sum after each map task."""
         yield sum(values)

@@ -19,6 +19,7 @@ class InvertedIndex(MapReduceApp):
     name = "invindex"
 
     def map(self, key: int, value: bytes) -> _t.Iterator[tuple[bytes, bytes]]:
+        """Emit (term, doc_id) postings for one tagged line."""
         doc_id, _sep, text = value.partition(b"\t")
         if not _sep:
             # Untagged line: treat the record offset as the document id.
@@ -27,4 +28,5 @@ class InvertedIndex(MapReduceApp):
             yield term, doc_id
 
     def reduce(self, key: bytes, values: list[bytes]) -> _t.Iterator[list[bytes]]:
+        """Deduplicate and sort the posting list of one term."""
         yield sorted(set(values))

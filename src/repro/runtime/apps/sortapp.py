@@ -31,16 +31,19 @@ class DistributedSort(MapReduceApp):
     name = "sort"
 
     def __init__(self, boundaries: _t.Sequence[bytes]) -> None:
+        """Fix the range-partition split points."""
         self.boundaries = list(boundaries)
 
     def map(self, key: int, value: bytes) -> _t.Iterator[tuple[bytes, None]]:
+        """Emit each line as a key (sorting is all in the shuffle)."""
         yield value, None
 
     def reduce(self, key: bytes, values: list[None]) -> _t.Iterator[int]:
-        # Duplicates are preserved as a multiplicity count.
+        """Emit the key's multiplicity (duplicates preserved as counts)."""
         yield len(values)
 
     def partition(self, key: bytes, n_reducers: int) -> int:
+        """Range partition: reducer index of the first boundary > key."""
         if len(self.boundaries) != n_reducers - 1:
             raise ValueError(
                 f"need {n_reducers - 1} boundaries for {n_reducers} reducers, "

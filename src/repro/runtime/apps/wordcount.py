@@ -18,17 +18,21 @@ class WordCount(MapReduceApp):
     name = "wordcount"
 
     def __init__(self, lowercase: bool = False) -> None:
+        """Optionally fold words to lower case before counting."""
         self.lowercase = lowercase
 
     def map(self, key: int, value: bytes) -> _t.Iterator[tuple[bytes, int]]:
+        """Emit (word, 1) per whitespace-separated token."""
         line = value.lower() if self.lowercase else value
         for word in line.split():
             yield word, 1
 
     def reduce(self, key: bytes, values: list[int]) -> _t.Iterator[int]:
+        """Sum the per-word counts."""
         yield sum(values)
 
     # Summing is associative/commutative, so the combiner is the reducer —
     # the classic word-count optimisation (shrinks intermediate data).
     def combine(self, key: bytes, values: list[int]) -> _t.Iterator[int]:
+        """Local pre-sum after each map task."""
         yield sum(values)

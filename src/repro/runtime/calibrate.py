@@ -36,10 +36,12 @@ class Measurement:
 
     @property
     def intermediate_ratio(self) -> float:
+        """Intermediate bytes per input byte (the cost model's map ratio)."""
         return self.intermediate_bytes / max(self.input_bytes, 1)
 
     @property
     def final_output_ratio(self) -> float:
+        """Final output bytes per intermediate byte."""
         return self.output_bytes / max(self.intermediate_bytes, 1)
 
     @property
@@ -49,6 +51,7 @@ class Measurement:
 
     @property
     def reduce_throughput(self) -> float:
+        """Measured reduce bytes/s on this machine."""
         return self.intermediate_bytes / max(self.reduce_seconds, 1e-9)
 
 

@@ -51,12 +51,15 @@ class JobReport:
 
     @property
     def intermediate_bytes(self) -> int:
+        """Total bytes across all map-output partitions."""
         return sum(self.partition_bytes.values())
 
     def map_tasks(self) -> list[TaskReport]:
+        """Reports of the map tasks only."""
         return [t for t in self.tasks if t.kind == "map"]
 
     def reduce_tasks(self) -> list[TaskReport]:
+        """Reports of the reduce tasks only."""
         return [t for t in self.tasks if t.kind == "reduce"]
 
 
@@ -66,6 +69,7 @@ class LocalRunner:
     def __init__(self, app: MapReduceApp, n_maps: int, n_reducers: int,
                  max_workers: int | None = None,
                  metrics: "MetricsRegistry | None" = None) -> None:
+        """A runner for *app* with a fixed map/reduce task split."""
         if n_maps < 1 or n_reducers < 1:
             raise ValueError("n_maps and n_reducers must be >= 1")
         self.app = app

@@ -43,6 +43,7 @@ class FileRunner:
 
     def __init__(self, app: MapReduceApp, n_maps: int, n_reducers: int,
                  workdir: str | pathlib.Path, job_name: str = "job") -> None:
+        """A file-backed runner writing all stage files under *workdir*."""
         self.inner = LocalRunner(app, n_maps, n_reducers)
         self.workdir = pathlib.Path(workdir)
         self.job_name = job_name
@@ -52,9 +53,11 @@ class FileRunner:
 
     # -- naming (mirrors MapReduceJobSpec's conventions) -----------------------
     def partition_path(self, map_index: int, reduce_index: int) -> pathlib.Path:
+        """Where map *map_index*'s partition for *reduce_index* lives."""
         return self.workdir / f"{self.job_name}_m{map_index}_r{reduce_index}"
 
     def output_path(self, reduce_index: int) -> pathlib.Path:
+        """Where reduce *reduce_index*'s final output file lives."""
         return self.workdir / f"{self.job_name}_out{reduce_index}"
 
     # -- stages ------------------------------------------------------------------

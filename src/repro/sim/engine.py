@@ -46,6 +46,7 @@ class TimerHandle:
     __slots__ = ("_sim", "active")
 
     def __init__(self, sim: "Simulator") -> None:
+        """Handle for a scheduled callback (internal; see Simulator.call_at)."""
         self._sim = sim
         #: True while the callback is still due to run.
         self.active = True
@@ -74,6 +75,7 @@ class Simulator:
     """
 
     def __init__(self, start_time: float = 0.0) -> None:
+        """An empty simulator whose clock starts at *start_time*."""
         self._now = float(start_time)
         self._queue: list[tuple[float, int, int, _t.Callable[..., None], tuple,
                                 TimerHandle | None]] = []

@@ -37,6 +37,7 @@ class Event:
     __slots__ = ("sim", "name", "_callbacks", "_triggered", "_value", "_exc")
 
     def __init__(self, sim: "Simulator", name: str = "") -> None:
+        """An untriggered event on *sim* (name aids tracing)."""
         self.sim = sim
         self.name = name
         self._callbacks: list[_t.Callable[[Event], None]] | None = []
@@ -128,6 +129,7 @@ class Timeout(Event):
 
     def __init__(self, sim: "Simulator", delay: float, value: _t.Any = None,
                  name: str = "") -> None:
+        """An event that self-triggers with *value* after *delay*."""
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
         super().__init__(sim, name=name or f"timeout({delay:g})")

@@ -29,6 +29,7 @@ class Interrupted(Exception):
     """Thrown into a process by :meth:`Process.interrupt`."""
 
     def __init__(self, cause: _t.Any = None) -> None:
+        """Raised inside a process; *cause* says who interrupted it."""
         super().__init__(cause)
         self.cause = cause
 
@@ -39,6 +40,7 @@ class Process(Event):
     __slots__ = ("_gen", "_waiting_on", "_started")
 
     def __init__(self, sim: Simulator, gen: _t.Generator, name: str = "") -> None:
+        """Wrap generator *gen* as a process and schedule its first step."""
         if not hasattr(gen, "send"):
             raise TypeError(
                 f"process body must be a generator, got {type(gen).__name__}; "

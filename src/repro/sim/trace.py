@@ -26,6 +26,7 @@ class TraceRecord:
         return self.fields[key]
 
     def get(self, key: str, default: _t.Any = None) -> _t.Any:
+        """Field lookup with a default, dict-style."""
         return self.fields.get(key, default)
 
 
@@ -37,6 +38,7 @@ class Tracer:
     """
 
     def __init__(self, keep: _t.Callable[[str], bool] | None = None) -> None:
+        """An empty tracer; *keep* filters which kinds are stored."""
         self.records: list[TraceRecord] = []
         self.counts: collections.Counter[str] = collections.Counter()
         self._keep = keep
@@ -127,15 +129,18 @@ class IntervalAccumulator:
     """
 
     def __init__(self) -> None:
+        """No intervals open yet."""
         self._open: dict[_t.Hashable, float] = {}
         self.closed: list[tuple[_t.Hashable, float, float]] = []
 
     def open(self, key: _t.Hashable, time: float) -> None:
+        """Start the interval *key* at *time* (must not be open)."""
         if key in self._open:
             raise ValueError(f"interval {key!r} already open")
         self._open[key] = time
 
     def close(self, key: _t.Hashable, time: float) -> float:
+        """End interval *key* at *time*; returns its duration."""
         start = self._open.pop(key, None)
         if start is None:
             raise ValueError(f"interval {key!r} is not open")
@@ -174,4 +179,5 @@ class IntervalAccumulator:
 
     @property
     def open_count(self) -> int:
+        """Intervals opened but not yet closed."""
         return len(self._open)

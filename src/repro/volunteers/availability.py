@@ -39,9 +39,11 @@ class AvailabilityModel:
             raise ValueError("departure_prob must be in [0, 1]")
 
     def draw_on(self, rng: np.random.Generator) -> float:
+        """Sample the next ON-period length."""
         return float(rng.exponential(self.mean_on_s))
 
     def draw_off(self, rng: np.random.Generator) -> float:
+        """Sample the next OFF-period length."""
         return float(rng.exponential(self.mean_off_s))
 
 
@@ -58,6 +60,7 @@ class ChurnController:
     def __init__(self, sim: Simulator, rng: np.random.Generator,
                  model: AvailabilityModel,
                  tracer: Tracer | None = None) -> None:
+        """Drive ON/OFF lifecycles from *model* using *rng*."""
         self.sim = sim
         self.rng = rng
         self.model = model
@@ -70,6 +73,7 @@ class ChurnController:
         self.sim.process(self._lifecycle(client), name=f"churn:{client.name}")
 
     def manage_all(self, clients: _t.Iterable[Client]) -> None:
+        """Start a lifecycle process for every client."""
         for c in clients:
             self.manage(c)
 

@@ -47,10 +47,12 @@ class AvailabilityTrace:
             prev_end = end
 
     def available_at(self, t: float) -> bool:
+        """True when some ON interval covers time *t*."""
         return any(start <= t < end for start, end in self.intervals)
 
     @property
     def total_available(self) -> float:
+        """Summed ON time across all intervals."""
         return sum(end - start for start, end in self.intervals)
 
     def availability_fraction(self, horizon: float) -> float:
@@ -116,6 +118,7 @@ class TraceChurnController:
     """Drive clients' availability from explicit traces."""
 
     def __init__(self, sim: Simulator, tracer: Tracer | None = None) -> None:
+        """Replay recorded availability traces on *sim*."""
         self.sim = sim
         self.tracer = tracer
         self._impl = ChurnController(
@@ -123,6 +126,7 @@ class TraceChurnController:
             model=_DUMMY_MODEL, tracer=tracer)
 
     def manage(self, client: Client, trace: AvailabilityTrace) -> None:
+        """Drive *client* ON/OFF according to *trace*."""
         self.sim.process(self._lifecycle(client, trace),
                          name=f"trace:{client.name}")
 

@@ -1,0 +1,144 @@
+"""Tests for campaign cells, grids, content-hash keys, and TOML loading."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignCell,
+    CampaignGrid,
+    canonical_json,
+    cell_key,
+    grid_from_toml,
+)
+from repro.sim import derive_seed
+
+
+class TestCampaignCell:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown cell kind"):
+            CampaignCell(kind="frobnicate", seed=1)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="seed"):
+            CampaignCell(kind="sleep", seed=-1)
+
+    def test_spec_roundtrip(self):
+        cell = CampaignCell(kind="scenario", seed=3,
+                            params={"n_nodes": 6, "n_maps": 6,
+                                    "n_reducers": 2},
+                            faults="flaky-network", group="g")
+        again = CampaignCell.from_spec(cell.spec())
+        assert again == cell
+        assert again.key == cell.key
+
+    def test_label_mentions_group_seed_faults(self):
+        cell = CampaignCell(kind="churn", seed=7, group="churn",
+                            faults="split-brain")
+        label = cell.label()
+        assert "churn" in label and "seed=7" in label
+        assert "split-brain" in label
+
+
+class TestCellKey:
+    def test_param_order_irrelevant(self):
+        a = CampaignCell(kind="sleep", seed=1,
+                         params={"a": 1, "duration_s": 0.1})
+        b = CampaignCell(kind="sleep", seed=1,
+                         params={"duration_s": 0.1, "a": 1})
+        assert a.key == b.key
+
+    def test_group_does_not_change_identity(self):
+        # The group is an aggregation label, not part of what ran.
+        a = CampaignCell(kind="sleep", seed=1, group="x")
+        b = CampaignCell(kind="sleep", seed=1, group="y")
+        assert a.key == b.key
+
+    def test_seed_params_faults_do_change_identity(self):
+        base = CampaignCell(kind="sleep", seed=1)
+        assert base.key != CampaignCell(kind="sleep", seed=2).key
+        assert base.key != CampaignCell(kind="sleep", seed=1,
+                                        params={"duration_s": 9}).key
+        assert base.key != CampaignCell(kind="sleep", seed=1,
+                                        faults="kitchen-sink").key
+
+    def test_stable_across_processes(self):
+        # A fixed spec must hash identically forever (the resume contract).
+        cell = CampaignCell(kind="scenario", seed=1,
+                            params={"n_nodes": 6, "n_maps": 6,
+                                    "n_reducers": 2, "mr_clients": True,
+                                    "input_size": 60e6})
+        assert cell.key == "0c78ced8e5206001"
+
+    def test_accepts_raw_spec_dict(self):
+        cell = CampaignCell(kind="sleep", seed=4)
+        assert cell_key(cell.spec()) == cell.key
+
+
+class TestCanonicalJson:
+    def test_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+
+class TestCampaignGrid:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no cells"):
+            CampaignGrid(name="empty", cells=())
+
+    def test_duplicate_cells_rejected(self):
+        cell = CampaignCell(kind="sleep", seed=1)
+        with pytest.raises(ValueError, match="duplicate"):
+            CampaignGrid(name="dup", cells=(cell, cell))
+
+    def test_len_and_iter(self):
+        cells = tuple(CampaignCell(kind="sleep", seed=s) for s in range(3))
+        grid = CampaignGrid(name="g", cells=cells)
+        assert len(grid) == 3
+        assert list(grid) == list(cells)
+
+
+class TestTomlGrid:
+    def test_load_and_fan_out(self, tmp_path):
+        path = tmp_path / "grid.toml"
+        path.write_text(
+            'name = "custom"\n'
+            'description = "two kinds"\n'
+            '[[cell]]\n'
+            'kind = "sleep"\n'
+            'seeds = [1, 2, 3]\n'
+            'group = "naps"\n'
+            'params = { duration_s = 0.01 }\n'
+            '[[cell]]\n'
+            'kind = "churn"\n'
+            'seed = 9\n')
+        grid = grid_from_toml(path)
+        assert grid.name == "custom"
+        assert len(grid) == 4
+        assert [c.seed for c in grid] == [1, 2, 3, 9]
+        assert grid.cells[0].params["duration_s"] == 0.01
+        assert grid.cells[0].group == "naps"
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.toml"
+        path.write_text('name = "nothing"\n')
+        with pytest.raises(ValueError, match="no .*cell"):
+            grid_from_toml(path)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "churn", 0) == derive_seed(1, "churn", 0)
+
+    def test_labels_separate_streams(self):
+        seen = {derive_seed(1, "churn", i) for i in range(100)}
+        assert len(seen) == 100
+
+    def test_base_seed_matters(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_non_negative_and_bounded(self):
+        for s in range(20):
+            derived = derive_seed(s, "label", s)
+            assert 0 <= derived < 2 ** 63
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seed(-1, "x")

@@ -1,0 +1,135 @@
+"""Tests for the builtin experiment grids and campaign aggregation."""
+
+import pytest
+
+from repro.analysis import (
+    aggregate_records,
+    aggregate_store,
+    render_campaign_table,
+)
+from repro.campaign import (
+    CampaignCell,
+    CampaignGrid,
+    CampaignRunner,
+    CellRecord,
+    ResultStore,
+)
+from repro.experiments import (
+    GRID_BUILDERS,
+    PAPER_TABLE1,
+    churn_grid,
+    replication_grid,
+    resolve_grid,
+    scale_out_grid,
+    table1_grid,
+)
+
+
+class TestBuiltinGrids:
+    def test_table1_covers_every_row_and_seed(self):
+        grid = table1_grid(seeds=(1, 2))
+        assert len(grid) == len(PAPER_TABLE1) * 2
+        groups = {c.group for c in grid}
+        assert groups == {row.label for row in PAPER_TABLE1}
+
+    def test_table1_faults_armed_on_every_cell(self):
+        grid = table1_grid(seeds=(1,), faults="flaky-network")
+        assert all(c.faults == "flaky-network" for c in grid)
+
+    def test_churn_grid_derives_distinct_seeds(self):
+        grid = churn_grid(seeds=(1, 2), replicates=3)
+        assert len(grid) == 6
+        assert len({c.seed for c in grid}) == 6
+
+    def test_replication_grid_shape(self):
+        grid = replication_grid(seeds=(1,))
+        assert {c.group for c in grid} == {"repl1q1", "repl2q2", "repl3q2"}
+        assert all(c.params["byzantine_rate"] == 0.2 for c in grid)
+
+    def test_scale_out_grid_shape(self):
+        grid = scale_out_grid(sizes=(100,), allocators=("incremental",))
+        assert len(grid) == 1
+        assert grid.cells[0].params == {"n_nodes": 100,
+                                        "allocator": "incremental"}
+
+    def test_registry_builders_all_construct(self):
+        for name, builder in GRID_BUILDERS.items():
+            grid = builder()
+            assert len(grid) > 0, name
+
+
+class TestResolveGrid:
+    def test_builtin_by_name_with_seed_override(self):
+        grid = resolve_grid("table1", seeds=(5,))
+        assert len(grid) == len(PAPER_TABLE1)
+        assert all(c.seed == 5 for c in grid)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown grid"):
+            resolve_grid("nope")
+
+    def test_faults_on_non_table1_rejected(self):
+        with pytest.raises(ValueError, match="--faults"):
+            resolve_grid("churn", faults="kitchen-sink")
+
+    def test_toml_path(self, tmp_path):
+        path = tmp_path / "g.toml"
+        path.write_text('name = "t"\n[[cell]]\nkind = "sleep"\nseed = 1\n')
+        assert len(resolve_grid(str(path))) == 1
+
+
+def _ok(key: str, group: str, kind: str, payload: dict) -> CellRecord:
+    return CellRecord(key=key, spec={"kind": kind, "seed": 1, "params": {},
+                                     "faults": None, "group": group},
+                      status="ok", result=payload, meta={})
+
+
+class TestAggregation:
+    def test_groups_and_summaries(self):
+        records = [
+            _ok("a1", "rowA", "table1", {"total": 100.0, "map_mean": 40.0}),
+            _ok("a2", "rowA", "table1", {"total": 200.0, "map_mean": 60.0}),
+            _ok("b1", "rowB", "table1", {"total": 50.0, "map_mean": 25.0}),
+        ]
+        stats = aggregate_records(records)
+        by_group = {s.group: s for s in stats}
+        assert by_group["rowA"].n == 2
+        assert by_group["rowA"].summary.mean == pytest.approx(150.0)
+        assert by_group["rowA"].field_means["map_mean"] == pytest.approx(50.0)
+        assert by_group["rowB"].summary.maximum == pytest.approx(50.0)
+
+    def test_failed_cells_counted_not_averaged(self):
+        records = [
+            _ok("a1", "rowA", "table1", {"total": 100.0}),
+            CellRecord(key="a2", spec={"kind": "table1", "seed": 2,
+                                       "params": {}, "faults": None,
+                                       "group": "rowA"},
+                       status="failed", result=None, meta={"error": "x"}),
+        ]
+        stats = aggregate_records(records)
+        assert stats[0].n == 1 and stats[0].failed == 1
+
+    def test_scale_out_uses_makespan_metric(self):
+        records = [_ok("s1", "scale100", "scale_out",
+                       {"makespan_s": 1234.0, "events": 10})]
+        stats = aggregate_records(records)
+        assert stats[0].summary.mean == pytest.approx(1234.0)
+
+    def test_render_table_contains_groups(self):
+        records = [_ok("a1", "rowA", "table1", {"total": 100.0})]
+        text = render_campaign_table(aggregate_records(records))
+        assert "rowA" in text and "mean" in text
+
+    def test_render_empty(self):
+        assert "no completed cells" in render_campaign_table([])
+
+    def test_aggregate_store_roundtrip(self, tmp_path):
+        grid = CampaignGrid(
+            name="g",
+            cells=tuple(CampaignCell(kind="sleep", seed=s,
+                                     params={"duration_s": 0.01},
+                                     group="naps") for s in range(3)))
+        out = tmp_path / "s.jsonl"
+        CampaignRunner(grid, ResultStore(out), workers=0).run()
+        stats = aggregate_store(str(out))
+        assert stats[0].group == "naps" and stats[0].n == 3

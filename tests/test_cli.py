@@ -147,6 +147,43 @@ class TestSeedHandling:
             build_parser().parse_args(["--seed", "banana", "table1"])
 
 
+class TestCampaignCommand:
+    def _toml_grid(self, tmp_path):
+        path = tmp_path / "grid.toml"
+        path.write_text(
+            'name = "naps"\n'
+            '[[cell]]\n'
+            'kind = "sleep"\n'
+            'seeds = [1, 2]\n'
+            'group = "naps"\n'
+            'params = { duration_s = 0.0 }\n')
+        return path
+
+    def test_list_grids(self, capsys):
+        assert main(["campaign", "--list-grids"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "churn" in out
+
+    def test_run_resume_and_aggregate(self, tmp_path, capsys):
+        grid = self._toml_grid(tmp_path)
+        store = tmp_path / "naps.jsonl"
+        assert main(["campaign", "--grid", str(grid), "--workers", "0",
+                     "--out", str(store), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "2 ran, 0 skipped" in out
+        assert main(["campaign", "--grid", str(grid), "--workers", "0",
+                     "--out", str(store), "--quiet", "--resume"]) == 0
+        assert "0 ran, 2 skipped" in capsys.readouterr().out
+        assert main(["campaign", "--aggregate", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "naps" in out and "mean" in out
+
+    def test_aggregate_missing_store_errors(self, tmp_path, capsys):
+        missing = tmp_path / "absent.jsonl"
+        assert main(["campaign", "--aggregate", str(missing)]) == 2
+        assert "no such store" in capsys.readouterr().err
+
+
 class TestChaosCommand:
     def test_list_plans(self, capsys):
         assert main(["chaos", "--list-plans"]) == 0

@@ -1,0 +1,54 @@
+"""Tier-1 gates for the documentation layer.
+
+Three enforcement points keep the docs from drifting away from the code:
+
+- ``docs/check_docstrings.py`` — every public module/class documented,
+  function coverage above its ratchet floor;
+- ``docs/gen_api.py --check`` — the committed ``docs/api/*.md`` pages
+  match a fresh render and no docstring cross-reference is broken;
+- the README quickstart doctests — run here with
+  :class:`DeprecationWarning` promoted to an error, so the front-page
+  examples can never show a deprecated API.
+"""
+
+from __future__ import annotations
+
+import doctest
+import pathlib
+import subprocess
+import sys
+import warnings
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _run(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run([sys.executable, *argv], cwd=REPO,
+                          capture_output=True, text=True)
+
+
+def test_docstring_gate_passes():
+    proc = _run(str(REPO / "docs" / "check_docstrings.py"))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_api_reference_is_fresh_and_refs_resolve():
+    proc = _run(str(REPO / "docs" / "gen_api.py"), "--check")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_api_reference_pages_are_committed():
+    pages = sorted(p.name for p in (REPO / "docs" / "api").glob("*.md"))
+    assert "index.md" in pages
+    assert "repro.campaign.md" in pages
+    assert len(pages) >= 10
+
+
+def test_readme_doctests_clean_of_deprecations():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        result = doctest.testfile(str(REPO / "README.md"),
+                                  module_relative=False,
+                                  optionflags=doctest.ELLIPSIS)
+    assert result.failed == 0, f"{result.failed} README doctest(s) failed"
+    assert result.attempted >= 15, "README lost its executable examples"
