@@ -1,19 +1,32 @@
 #!/usr/bin/env python3
-"""Gate: fail when scale-benchmark throughput regresses vs the baseline.
+"""Gate: fail when benchmark throughput regresses vs a checked-in baseline.
 
-Compares a fresh ``BENCH_scale.json`` (from ``benchmarks/test_scale.py``)
-against the checked-in ``benchmarks/BENCH_scale_baseline.json`` and exits
-non-zero when, at any common size, the incremental allocator's events/sec
-drops more than ``--tolerance`` (default 20%) below baseline.
+A shared helper for the two simulator-throughput benchmarks:
 
-Absolute events/sec varies across machines, so the gate also checks the
-machine-independent signal — the incremental/full speedup ratio — with
-the same tolerance.  Regenerate the baseline on the reference runner with
-``python benchmarks/test_scale.py && cp BENCH_scale.json
-benchmarks/BENCH_scale_baseline.json`` when an intentional change shifts
-the numbers.
+- ``--kind scale`` (default) compares ``BENCH_scale.json`` (from
+  ``benchmarks/test_scale.py``) against
+  ``benchmarks/BENCH_scale_baseline.json``: per common size, the
+  incremental allocator's events/sec must stay within ``--tolerance`` of
+  baseline, and so must the machine-independent incremental/full speedup
+  ratio.
+- ``--kind parallel`` compares ``BENCH_parallel.json`` (from
+  ``benchmarks/test_parallel.py``) against
+  ``benchmarks/BENCH_parallel_baseline.json``: every size must report
+  sequential equivalence (exact event-count/makespan/queue-depth match at
+  every LP count), sequential and best-parallel events/sec must stay
+  within tolerance, and — on runners with 4+ CPUs only — the best 4+-LP
+  configuration must reach 2x the sequential throughput at 2,000+
+  volunteers.  On smaller runners that criterion is skipped with a
+  logged reason (a GIL-bound single core cannot express cross-LP
+  parallelism).
 
-Usage: python benchmarks/check_scale_regression.py [result] [baseline]
+Absolute events/sec varies across machines; regenerate a baseline on the
+reference runner with e.g. ``python benchmarks/test_parallel.py && cp
+BENCH_parallel.json benchmarks/BENCH_parallel_baseline.json`` when an
+intentional change shifts the numbers.
+
+Usage: python benchmarks/check_scale_regression.py [--kind scale|parallel]
+       [result] [baseline]
 """
 
 from __future__ import annotations
@@ -23,32 +36,42 @@ import json
 import os
 import sys
 
-DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__),
-                                "BENCH_scale_baseline.json")
+_HERE = os.path.dirname(__file__)
+
+#: Per-kind defaults: (result file, checked-in baseline file).
+DEFAULTS = {
+    "scale": ("BENCH_scale.json",
+              os.path.join(_HERE, "BENCH_scale_baseline.json")),
+    "parallel": ("BENCH_parallel.json",
+                 os.path.join(_HERE, "BENCH_parallel_baseline.json")),
+}
 
 
 def _index(report: dict) -> dict[int, dict]:
     return {entry["n_nodes"]: entry for entry in report.get("sizes", [])}
 
 
+def _below(got: float, want: float, tolerance: float) -> bool:
+    return got < (1.0 - tolerance) * want
+
+
 def check(result: dict, baseline: dict, tolerance: float) -> list[str]:
-    """Return a list of human-readable regression findings (empty = pass)."""
+    """Scale-kind findings: allocator throughput + speedup ratio (empty = pass)."""
     failures = []
     fresh, base = _index(result), _index(baseline)
     common = sorted(set(fresh) & set(base))
     if not common:
         return ["no common sizes between result and baseline"]
-    floor = 1.0 - tolerance
     for n in common:
         got = fresh[n]["incremental"]["events_per_s"]
         want = base[n]["incremental"]["events_per_s"]
-        if got < floor * want:
+        if _below(got, want, tolerance):
             failures.append(
                 f"n={n}: incremental throughput {got:.0f} events/s is "
                 f"{100 * (1 - got / want):.0f}% below baseline {want:.0f}")
         got_ratio = fresh[n]["speedup_events_per_s"]
         want_ratio = base[n]["speedup_events_per_s"]
-        if got_ratio < floor * want_ratio:
+        if _below(got_ratio, want_ratio, tolerance):
             failures.append(
                 f"n={n}: incremental/full speedup {got_ratio:.2f}x is "
                 f"{100 * (1 - got_ratio / want_ratio):.0f}% below "
@@ -56,24 +79,81 @@ def check(result: dict, baseline: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def check_parallel(result: dict, baseline: dict,
+                   tolerance: float) -> list[str]:
+    """Parallel-kind findings: equivalence, throughput, multi-core speedup."""
+    failures = []
+    fresh, base = _index(result), _index(baseline)
+    for n in sorted(fresh):
+        if not fresh[n].get("equivalent", False):
+            diverged = [w for w, v in fresh[n].get("lp", {}).items()
+                        if not v.get("matches_sequential")]
+            failures.append(
+                f"n={n}: parallel engine diverged from sequential at "
+                f"LP count(s) {diverged or '?'} — determinism bug")
+    common = sorted(set(fresh) & set(base))
+    if not common:
+        failures.append("no common sizes between result and baseline")
+        return failures
+    for n in common:
+        for label, pick in (("sequential",
+                             lambda e: e["sequential"]["events_per_s"]),
+                            ("best-parallel",
+                             lambda e: max(v["events_per_s"]
+                                           for v in e["lp"].values()))):
+            got, want = pick(fresh[n]), pick(base[n])
+            if _below(got, want, tolerance):
+                failures.append(
+                    f"n={n}: {label} throughput {got:.0f} events/s is "
+                    f"{100 * (1 - got / want):.0f}% below baseline "
+                    f"{want:.0f}")
+    ncpu = result.get("cpu_count") or 1
+    if ncpu >= 4:
+        for n in sorted(fresh):
+            if n < 2000:
+                continue
+            seq = fresh[n]["sequential"]["events_per_s"]
+            four_plus = max(v["events_per_s"]
+                            for w, v in fresh[n]["lp"].items()
+                            if int(w) >= 4)
+            if four_plus < 2.0 * seq:
+                failures.append(
+                    f"n={n}: best 4+-LP throughput {four_plus:.0f} events/s "
+                    f"is below 2x the sequential {seq:.0f} on a "
+                    f"{ncpu}-CPU host")
+    else:
+        print(f"note: skipping the >=2x multi-core criterion — runner has "
+              f"{ncpu} CPU(s), cross-LP execution is GIL-serialized here")
+    return failures
+
+
+#: Kind -> checker function.
+CHECKERS = {"scale": check, "parallel": check_parallel}
+
+
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit status."""
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("result", nargs="?", default="BENCH_scale.json")
-    parser.add_argument("baseline", nargs="?", default=DEFAULT_BASELINE)
+    parser.add_argument("--kind", choices=sorted(CHECKERS),
+                        default="scale",
+                        help="which benchmark report to validate")
+    parser.add_argument("result", nargs="?", default=None)
+    parser.add_argument("baseline", nargs="?", default=None)
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional drop (default 0.20)")
     args = parser.parse_args(argv)
-    with open(args.result, encoding="utf-8") as fh:
+    default_result, default_baseline = DEFAULTS[args.kind]
+    with open(args.result or default_result, encoding="utf-8") as fh:
         result = json.load(fh)
-    with open(args.baseline, encoding="utf-8") as fh:
+    with open(args.baseline or default_baseline, encoding="utf-8") as fh:
         baseline = json.load(fh)
-    failures = check(result, baseline, args.tolerance)
+    failures = CHECKERS[args.kind](result, baseline, args.tolerance)
     if failures:
-        print("scale benchmark regression:")
+        print(f"{args.kind} benchmark regression:")
         for line in failures:
             print(f"  - {line}")
         return 1
-    print(f"scale benchmark within {args.tolerance:.0%} of baseline "
+    print(f"{args.kind} benchmark within {args.tolerance:.0%} of baseline "
           f"at sizes {sorted(set(_index(result)) & set(_index(baseline)))}")
     return 0
 

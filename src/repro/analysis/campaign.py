@@ -41,6 +41,14 @@ class GroupStats:
     #: Mean of every numeric payload field across the group's cells.
     field_means: dict[str, float]
     failed: int
+    #: Mean wall-clock seconds per cell (from the runner's meta
+    #: side-channel; 0.0 when the store predates wall recording).
+    wall_mean: float = 0.0
+    #: Aggregate simulator throughput: summed payload ``events`` over
+    #: summed wall seconds (0.0 when either is unavailable) — the column
+    #: that makes sequential-vs-parallel engine campaigns directly
+    #: comparable from the aggregate table.
+    events_per_s: float = 0.0
 
     @property
     def n(self) -> int:
@@ -80,10 +88,17 @@ def aggregate_records(records: _t.Iterable["CellRecord"]
                   if metric in m.result]
         if not values:
             continue
+        walls = [float(m.meta["wall_s"]) for m in ok if "wall_s" in m.meta]
+        events = [float(m.result["events"]) for m in ok
+                  if "wall_s" in m.meta and "events" in m.result]
+        wall_sum = sum(walls)
         out.append(GroupStats(
             group=group, kind=kind, summary=summarise(values),
             field_means=_numeric_means([m.result for m in ok]),
-            failed=failed))
+            failed=failed,
+            wall_mean=wall_sum / len(walls) if walls else 0.0,
+            events_per_s=sum(events) / wall_sum
+            if events and wall_sum > 0 else 0.0))
     return out
 
 
@@ -100,13 +115,16 @@ def render_campaign_table(stats: _t.Sequence[GroupStats],
     if not stats:
         return "(no completed cells)"
     headers = ["group", "kind", "n", "mean", "p50", "p90", "min", "max",
-               "failed"]
+               "wall", "ev/s", "failed"]
     rows = []
     for s in stats:
         rows.append([
             s.group, s.kind, s.n,
             f"{s.summary.mean:.1f}", f"{s.summary.p50:.1f}",
             f"{s.summary.p90:.1f}", f"{s.summary.minimum:.1f}",
-            f"{s.summary.maximum:.1f}", s.failed,
+            f"{s.summary.maximum:.1f}",
+            f"{s.wall_mean:.2f}s" if s.wall_mean > 0 else "-",
+            f"{s.events_per_s:,.0f}" if s.events_per_s > 0 else "-",
+            s.failed,
         ])
     return render_table(headers, rows, title=title)

@@ -19,6 +19,7 @@ of one run mutating another's configuration.
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 import typing as _t
 import warnings
@@ -35,7 +36,14 @@ from ..net import (
 )
 from ..obs import MetricsRegistry, Sampler, SelfProfiler, SpanBuilder
 from ..obs import attach_standard_probes
-from ..sim import Event, RngRegistry, SimulationError, Simulator, Tracer
+from ..sim import (
+    Event,
+    ParallelSimulator,
+    RngRegistry,
+    SimulationError,
+    Simulator,
+    Tracer,
+)
 from .config import BoincMRConfig
 from .executor import MapReduceExecutor
 from .interclient import PeerStore
@@ -70,10 +78,23 @@ class CloudSpec:
     #: Rate-allocation strategy for the flow network ("incremental"/"full");
     #: see :data:`repro.net.ALLOCATORS`.
     allocator: str = "incremental"
+    #: Event-loop engine: "sequential" (single heap) or "parallel"
+    #: (:class:`repro.sim.ParallelSimulator`, LP-partitioned).
+    engine: str = "sequential"
+    #: Logical-process count for the parallel engine (ignored when
+    #: sequential); LP 0 is the server/data-server partition.
+    sim_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.seed < 0:
             raise ValueError(f"seed must be >= 0, got {self.seed}")
+        if self.engine not in ("sequential", "parallel"):
+            raise ValueError(
+                f"engine must be 'sequential' or 'parallel', got "
+                f"{self.engine!r}")
+        if self.sim_workers < 1:
+            raise ValueError(
+                f"sim_workers must be >= 1, got {self.sim_workers}")
 
     def replace(self, **changes: _t.Any) -> "CloudSpec":
         """A copy of this spec with *changes* applied."""
@@ -115,27 +136,38 @@ class VolunteerCloud:
             spec = CloudSpec()
         #: The frozen construction spec this deployment was built from.
         self.spec = spec
-        self.sim = Simulator()
+        if spec.engine == "parallel":
+            self.sim: Simulator = ParallelSimulator(n_lps=spec.sim_workers,
+                                                    lookahead=float("inf"))
+        else:
+            self.sim = Simulator()
+        #: Two smallest access-link latencies seen so far; their sum is the
+        #: parallel engine's lookahead (the least latency any cross-host
+        #: message pays end to end).
+        self._access_latencies: list[float] = []
         self.rngs = RngRegistry(spec.seed)
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.net = Network(self.sim, tracer=None,  # flow traces are noisy
-                           metrics=self.metrics, allocator=spec.allocator)
-        self.server_host = self.net.add_host("server", spec.server_link)
-        self.server = ProjectServer(self.sim, self.net, self.server_host,
-                                    config=spec.server_config,
-                                    tracer=self.tracer,
-                                    rng=self.rngs.stream("server"),
-                                    metrics=self.metrics)
-        self.mr_config = spec.mr_config or BoincMRConfig()
-        self.client_config = spec.client_config or ClientConfig()
-        self.jobtracker = JobTracker(self.sim, self.server,
-                                     config=self.mr_config, tracer=self.tracer)
-        self.jobtracker.on_job_done = self._cleanup_job
-        self.directory = ClientDirectory()
-        self.connectivity = ConnectivityPolicy(
-            spec.traversal_config or TraversalConfig(),
-            rng=self.rngs.stream("nat"))
+        with self.sim.partition(None):  # LP 0: server/data-server partition
+            self.net = Network(self.sim, tracer=None,  # flow traces are noisy
+                               metrics=self.metrics, allocator=spec.allocator)
+            self.server_host = self.net.add_host("server", spec.server_link)
+            self.server = ProjectServer(self.sim, self.net, self.server_host,
+                                        config=spec.server_config,
+                                        tracer=self.tracer,
+                                        rng=self.rngs.stream("server"),
+                                        metrics=self.metrics)
+            self.mr_config = spec.mr_config or BoincMRConfig()
+            self.client_config = spec.client_config or ClientConfig()
+            self.jobtracker = JobTracker(self.sim, self.server,
+                                         config=self.mr_config,
+                                         tracer=self.tracer)
+            self.jobtracker.on_job_done = self._cleanup_job
+            self.directory = ClientDirectory()
+            self.connectivity = ConnectivityPolicy(
+                spec.traversal_config or TraversalConfig(),
+                rng=self.rngs.stream("nat"))
+        self._note_access_latency(spec.server_link.latency_s)
         self.clients: list[Client] = []
         self._started = False
         #: Observability attachments (populated by attach_observability).
@@ -153,6 +185,21 @@ class VolunteerCloud:
         """
         return cls(spec, tracer=tracer, metrics=metrics)
 
+    def _note_access_latency(self, latency_s: float) -> None:
+        """Fold a new host's access latency into the parallel lookahead.
+
+        The conservative safe-window slack is the minimum latency any
+        cross-partition message pays: two access-link traversals for a
+        host-to-host (or host-to-server) hop.  Tracking the two smallest
+        latencies keeps the derivation O(1) per host, and a new host can
+        only shrink the window, never widen it.
+        """
+        lat = self._access_latencies
+        bisect.insort(lat, latency_s)
+        del lat[2:]
+        if len(lat) == 2 and isinstance(self.sim, ParallelSimulator):
+            self.sim.shrink_lookahead(lat[0] + lat[1])
+
     # -- population ------------------------------------------------------------
     def add_volunteer(self, name: str | None = None, *, flops: float = 1.0,
                       mr: bool = False, link_spec: LinkSpec = EMULAB_LINK,
@@ -164,30 +211,33 @@ class VolunteerCloud:
         """Create one volunteer host and its client (not yet started)."""
         if name is None:
             name = f"host{len(self.clients):03d}"
-        host = self.net.add_host(name, link_spec, nat=nat)
-        record = self.server.register_host(name, flops, supports_mr=mr,
-                                           hr_class=hr_class)
-        cfg = config or self.client_config
-        executor = MapReduceExecutor(
-            self.jobtracker, byzantine_rate=byzantine_rate,
-            platform_variance=platform_variance,
-            rng=self.rngs.stream(f"exec.{name}"))
-        fetcher = MapReduceInputFetcher(
-            self.jobtracker, self.directory, self.mr_config,
-            connectivity=self.connectivity, relay=self.server_host,
-            rng=self.rngs.stream(f"fetch.{name}"))
-        output_policy = MapReduceOutputPolicy(self.jobtracker, self.mr_config)
-        client = Client(self.sim, self.net, self.server, host, record,
-                        config=cfg, rng=self.rngs.stream(f"client.{name}"),
-                        tracer=self.tracer, input_fetcher=fetcher,
-                        output_policy=output_policy, executor=executor)
-        if mr:
-            client.peer_store = PeerStore(self.sim,
-                                          self.mr_config.serve_timeout_s)
-        self.directory.register(client)
-        self.clients.append(client)
-        if self._started:
-            client.start()
+        with self.sim.partition(name):  # host + client live in one LP
+            host = self.net.add_host(name, link_spec, nat=nat)
+            record = self.server.register_host(name, flops, supports_mr=mr,
+                                               hr_class=hr_class)
+            cfg = config or self.client_config
+            executor = MapReduceExecutor(
+                self.jobtracker, byzantine_rate=byzantine_rate,
+                platform_variance=platform_variance,
+                rng=self.rngs.stream(f"exec.{name}"))
+            fetcher = MapReduceInputFetcher(
+                self.jobtracker, self.directory, self.mr_config,
+                connectivity=self.connectivity, relay=self.server_host,
+                rng=self.rngs.stream(f"fetch.{name}"))
+            output_policy = MapReduceOutputPolicy(self.jobtracker,
+                                                  self.mr_config)
+            client = Client(self.sim, self.net, self.server, host, record,
+                            config=cfg, rng=self.rngs.stream(f"client.{name}"),
+                            tracer=self.tracer, input_fetcher=fetcher,
+                            output_policy=output_policy, executor=executor)
+            if mr:
+                client.peer_store = PeerStore(self.sim,
+                                              self.mr_config.serve_timeout_s)
+            self.directory.register(client)
+            self.clients.append(client)
+            if self._started:
+                client.start()
+        self._note_access_latency(link_spec.latency_s)
         return client
 
     def add_volunteers(self, n: int, **kwargs: _t.Any) -> list[Client]:
@@ -280,9 +330,11 @@ class VolunteerCloud:
         if self._started:
             return
         self._started = True
-        self.server.start_daemons()
+        with self.sim.partition(None):
+            self.server.start_daemons()
         for client in self.clients:
-            client.start()
+            with self.sim.partition(client.host.name):
+                client.start()
 
     def _cleanup_job(self, job: MapReduceJob) -> None:
         """Withdraw served map outputs once the job completes."""

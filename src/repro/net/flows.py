@@ -35,6 +35,7 @@ Both strategies maintain per-link used-rate sums so
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import math
 import typing as _t
@@ -373,14 +374,21 @@ class FullAllocator:
 class _Component:
     """A link-connected island of active flows (incremental allocator)."""
 
-    __slots__ = ("flows", "links", "version", "last_update", "next_at",
+    __slots__ = ("flows", "adj", "seq", "version", "last_update", "next_at",
                  "next_rate", "timer")
 
-    def __init__(self, now: float) -> None:
+    def __init__(self, now: float, seq: int) -> None:
+        """An empty component created at sim time *now* (internal)."""
         #: Member flows, insertion-ordered (dict-as-ordered-set).
         self.flows: dict[Flow, None] = {}
-        #: Links touched by member flows (may briefly include stale links).
-        self.links: set[Link] = set()
+        #: Link -> member flows over it, maintained incrementally on every
+        #: add/detach so splits never rebuild adjacency from scratch.  The
+        #: key set is exactly the links member flows touch.
+        self.adj: dict[Link, dict[Flow, None]] = {}
+        #: Creation order — the deterministic tie-breaker that keeps the
+        #: indexed due-scan processing components in the same order the
+        #: historical ``_comps`` iteration did.
+        self.seq = seq
         #: Bumped on every (re)allocation; retracts stale timers.
         self.version = 0
         #: Sim time progress was last accounted for this component.
@@ -393,7 +401,8 @@ class _Component:
 
 
 def _link_components(flows: list[Flow],
-                     adj: dict[Link, list[Flow]]) -> list[list[Flow]]:
+                     adj: _t.Mapping[Link, _t.Iterable[Flow]],
+                     ) -> list[list[Flow]]:
     """Partition *flows* into link-connected groups, each in start order."""
     seen: set[Flow] = set()
     groups: list[list[Flow]] = []
@@ -436,6 +445,13 @@ class IncrementalAllocator:
         self._flow_comp: dict[Flow, _Component] = {}
         self._link_comp: dict[Link, _Component] = {}
         self._used: dict[Link, float] = {}
+        self._comp_seq = itertools.count()
+        #: Due-scan index: min-heap of ``(key, comp.seq, comp, version)``
+        #: where *key* conservatively under-estimates the earliest sim time
+        #: the component could pass the completion-epsilon test.  Replaces
+        #: the historical O(components) linear scan on every timer fire;
+        #: entries are invalidated lazily via the version counter.
+        self._due: list[tuple[float, int, _Component, int]] = []
 
     def bind(self, net: "FlowNetwork") -> None:
         """Attach to *net*."""
@@ -457,19 +473,19 @@ class IncrementalAllocator:
                 self._advance_comp(c, now)
                 self._merge(comp, c)
         if comp is None:
-            comp = _Component(now)
+            comp = _Component(now, next(self._comp_seq))
             self._comps[comp] = None
         comp.flows[flow] = None
-        comp.links.update(flow.links)
         self._flow_comp[flow] = comp
         for link in flow.links:
+            comp.adj.setdefault(link, {})[flow] = None
             self._link_comp[link] = comp
         self._settle(comp)
 
     def remove(self, flow: Flow) -> None:
         """Drop *flow* and split its component if it disconnected."""
-        comp = self._flow_comp.pop(flow)
-        del comp.flows[flow]
+        comp = self._flow_comp[flow]
+        self._detach(comp, flow)
         self._resettle(comp)
 
     def advance(self, flow: Flow | None = None) -> None:
@@ -522,6 +538,27 @@ class IncrementalAllocator:
                     link.bytes_carried += sent
         comp.last_update = now
 
+    def _detach(self, comp: _Component, flow: Flow) -> None:
+        """Unlink *flow* from *comp*'s membership and adjacency indexes.
+
+        Links that lose their last member flow are evicted from the
+        component's adjacency and from the global link index eagerly, so
+        :meth:`_resettle` never sees stale links and never rebuilds the
+        adjacency map from scratch.
+        """
+        del comp.flows[flow]
+        del self._flow_comp[flow]
+        for link in flow.links:
+            members = comp.adj.get(link)
+            if members is None:
+                continue
+            members.pop(flow, None)
+            if not members:
+                del comp.adj[link]
+                if self._link_comp.get(link) is comp:
+                    del self._link_comp[link]
+                    self._used.pop(link, None)
+
     def _merge(self, dst: _Component, src: _Component) -> None:
         """Absorb *src* into *dst* (both already advanced to now)."""
         if src.timer is not None:
@@ -531,8 +568,8 @@ class IncrementalAllocator:
         for f in src.flows:
             dst.flows[f] = None
             self._flow_comp[f] = dst
-        dst.links.update(src.links)
-        for link in src.links:
+        for link, members in src.adj.items():
+            dst.adj.setdefault(link, {}).update(members)
             if self._link_comp.get(link) is src:
                 self._link_comp[link] = dst
         del self._comps[src]
@@ -543,7 +580,7 @@ class IncrementalAllocator:
             comp.timer.cancel()
             comp.timer = None
         comp.version += 1
-        for link in comp.links:
+        for link in comp.adj:
             if self._link_comp.get(link) is comp:
                 del self._link_comp[link]
                 self._used.pop(link, None)
@@ -566,7 +603,7 @@ class IncrementalAllocator:
             comp.timer = None
         flows = sorted(comp.flows, key=_by_seq)
         allocate_rates(flows)
-        for link in comp.links:
+        for link in comp.adj:
             self._used[link] = 0.0
         for f in flows:
             for link in f.links:
@@ -584,40 +621,60 @@ class IncrementalAllocator:
             comp.timer = sim.schedule_cancellable(
                 next_eta, self._on_timer, comp, comp.version,
                 priority=PRIORITY_HIGH)
+            self._index_due(comp)
         else:
             comp.next_at = None
             comp.next_rate = 0.0
 
+    def _index_due(self, comp: _Component) -> None:
+        """Insert *comp* into the due-scan heap under a conservative key.
+
+        The exact epsilon test is ``(next_at - now) * next_rate <=
+        _EPSILON_BYTES``; rearranged, a component becomes due at real time
+        ``next_at - eps/rate``.  The heap key doubles the margin and steps
+        two floats down so rounding can never place the key *after* a
+        timestamp where the exact test already passes — over-inclusion is
+        filtered by re-applying the exact test at pop time, so the index
+        changes which components are *inspected*, never which are due.
+        """
+        if comp.next_rate > 0:
+            key = comp.next_at - 2.0 * _EPSILON_BYTES / comp.next_rate
+        else:
+            key = comp.next_at
+        key = math.nextafter(math.nextafter(key, -math.inf), -math.inf)
+        heapq.heappush(self._due, (key, comp.seq, comp, comp.version))
+        if len(self._due) > 4 * len(self._comps) + 64:
+            self._due = [entry for entry in self._due
+                         if entry[2].version == entry[3]]
+            heapq.heapify(self._due)
+
     def _resettle(self, comp: _Component) -> None:
-        """After a removal: split *comp* if disconnected, refill survivors."""
+        """After a removal: split *comp* if disconnected, refill survivors.
+
+        The adjacency map is maintained incrementally (:meth:`_detach`), so
+        the connectivity walk reuses it directly — the historical per-
+        removal rebuild of link → flows was the second-hottest line in the
+        10k-volunteer profile after the due-scan.
+        """
         now = self.net.sim.now
         if not comp.flows:
             self._dissolve(comp)
             return
         flows = sorted(comp.flows, key=_by_seq)
-        adj: dict[Link, list[Flow]] = {}
-        for f in flows:
-            for link in f.links:
-                adj.setdefault(link, []).append(f)
-        groups = _link_components(flows, adj)
+        groups = _link_components(flows, comp.adj)
         if len(groups) == 1:
-            # Still connected: prune links only the removed flow used.
-            for link in comp.links - adj.keys():
-                if self._link_comp.get(link) is comp:
-                    del self._link_comp[link]
-                    self._used.pop(link, None)
-            comp.links = set(adj)
             self._settle(comp)
             return
         self._dissolve(comp)
         for group in groups:
-            nc = _Component(now)
+            nc = _Component(now, next(self._comp_seq))
             self._comps[nc] = None
             for f in group:
                 nc.flows[f] = None
                 self._flow_comp[f] = nc
-                nc.links.update(f.links)
-            for link in nc.links:
+                for link in f.links:
+                    nc.adj.setdefault(link, {})[f] = None
+            for link in nc.adj:
                 self._link_comp[link] = nc
             self._settle(nc)
 
@@ -628,10 +685,25 @@ class IncrementalAllocator:
         # Due-scan: finish *every* flow within the completion epsilon at this
         # instant, across all components, exactly as the global allocator
         # does — (next_at - now) * next_rate is the earliest flow's remaining
-        # byte count, so the comparison needs no per-flow work.
-        due = [c for c in self._comps
-               if c.next_at is not None
-               and (c.next_at - now) * c.next_rate <= _EPSILON_BYTES]
+        # byte count, so the comparison needs no per-flow work.  The heap
+        # index surfaces candidates in O(log C) instead of scanning every
+        # component; the exact test below decides, so due membership — and
+        # with it the trace — is identical to the historical linear scan.
+        due: list[_Component] = []
+        heap = self._due
+        while heap and heap[0][0] <= now:
+            _key, _seq, c, ver = heapq.heappop(heap)
+            if c.version != ver or c.next_at is None:
+                continue  # retracted or resettled since indexing
+            if (c.next_at - now) * c.next_rate <= _EPSILON_BYTES:
+                due.append(c)
+            else:
+                # Conservative key over-included it; defer past this
+                # instant (nextafter guarantees forward progress).
+                heapq.heappush(
+                    heap, (math.nextafter(now, math.inf), c.seq, c, ver))
+        # Match the historical scan order (= component creation order).
+        due.sort(key=lambda c: c.seq)
         finished: list[Flow] = []
         touched: list[tuple[_Component, list[Flow]]] = []
         for c in due:
@@ -644,8 +716,7 @@ class IncrementalAllocator:
                 self._settle(c)
                 continue
             for f in fin:
-                del c.flows[f]
-                del self._flow_comp[f]
+                self._detach(c, f)
             self._resettle(c)
         if finished:
             finished.sort(key=_by_seq)

@@ -13,6 +13,7 @@ code is written.
 
 from __future__ import annotations
 
+import contextlib
 import heapq
 import itertools
 import math
@@ -34,6 +35,11 @@ class SimulationError(RuntimeError):
     """Raised for misuse of the engine (e.g. scheduling into the past)."""
 
 
+#: Cancelled-entry count below which heap compaction is never attempted
+#: (compacting tiny heaps would cost more than the memory it reclaims).
+_COMPACT_MIN = 512
+
+
 class TimerHandle:
     """Cancellation token returned by :meth:`Simulator.schedule_cancellable`.
 
@@ -41,22 +47,28 @@ class TimerHandle:
     (without advancing the clock or the dispatch count) when it reaches the
     front.  This keeps cancellation O(1), which the incremental flow
     allocator relies on to retract superseded completion timers cheaply.
+    When cancelled entries pile up the owning simulator compacts the heap
+    (see :meth:`Simulator._note_cancel`), so they can never dominate heap
+    memory at scale.
     """
 
-    __slots__ = ("_sim", "active")
+    __slots__ = ("_sim", "active", "lp")
 
     def __init__(self, sim: "Simulator") -> None:
         """Handle for a scheduled callback (internal; see Simulator.call_at)."""
         self._sim = sim
         #: True while the callback is still due to run.
         self.active = True
+        #: Owning logical process when scheduled on a
+        #: :class:`repro.sim.parallel.ParallelSimulator` (None otherwise).
+        self.lp: _t.Any = None
 
     def cancel(self) -> bool:
         """Retract the callback; returns False if already cancelled/fired."""
         if not self.active:
             return False
         self.active = False
-        self._sim._cancelled += 1
+        self._sim._note_cancel(self)
         return True
 
 
@@ -168,7 +180,40 @@ class Simulator:
 
         return Process(self, gen, name=name)
 
+    # -- partitioning ----------------------------------------------------------
+    def partition(self, key: _t.Hashable) -> _t.ContextManager[None]:
+        """Scope for scheduling on behalf of partition *key* (no-op here).
+
+        The sequential engine has a single event queue, so this returns a
+        null context; :class:`repro.sim.parallel.ParallelSimulator`
+        overrides it to route scheduling into the logical process that
+        owns *key*.  Model-construction code uses it unconditionally and
+        stays engine-agnostic.
+        """
+        return contextlib.nullcontext()
+
     # -- execution -------------------------------------------------------------
+    def _note_cancel(self, handle: TimerHandle) -> None:
+        """Account a lazy cancellation; compact the heap when they pile up.
+
+        Cancelled entries are normally skipped when they surface
+        (:meth:`_prune`), but a workload that cancels far more timers than
+        it fires — e.g. the incremental allocator retracting superseded
+        completion timers under heavy churn — would otherwise let dead
+        entries dominate heap memory.  Once more than half the heap is
+        cancelled (and past :data:`_COMPACT_MIN`), the live entries are
+        reheapified.  Compaction preserves the dispatch order exactly:
+        entry keys are unique, so a heap over any subset pops in the same
+        relative order.
+        """
+        self._cancelled += 1
+        if (self._cancelled > _COMPACT_MIN
+                and self._cancelled * 2 > len(self._queue)):
+            self._queue = [entry for entry in self._queue
+                           if entry[5] is None or entry[5].active]
+            heapq.heapify(self._queue)
+            self._cancelled = 0
+
     def _prune(self) -> None:
         """Drop cancelled entries from the front of the heap."""
         queue = self._queue

@@ -1,0 +1,473 @@
+"""Partitioned parallel discrete-event engine (conservative synchronization).
+
+:class:`ParallelSimulator` shards the single event heap of
+:class:`~repro.sim.engine.Simulator` into per-partition *logical
+processes* (LPs).  A :class:`Partitioner` assigns every volunteer host —
+and with it the host's client state machine, timers, and flow callbacks —
+to one LP; the project server and data server own the dedicated LP 0.
+Scheduling is routed by affinity: an entry scheduled while LP *i* is
+executing (or inside a :meth:`~ParallelSimulator.partition` scope) lands
+in LP *i*'s heap, and an event waiter's wakeup is delivered into the
+*waiter's* home LP, which is what makes a scheduler RPC reply or a
+cross-host data transfer a **cross-partition send**.
+
+Execution is organised into conservative safe windows.  Each round the
+engine takes the globally earliest pending timestamp ``t_min`` and a
+*lookahead* horizon ``t_min + lookahead`` — lookahead being the smallest
+access-link latency any cross-partition message must pay (derived by
+:class:`repro.core.system.VolunteerCloud` from the deployment's
+:class:`~repro.net.topology.LinkSpec` latencies).  Every LP may execute
+all of its events below the horizon before any LP crosses it; the window
+then closes and a new horizon is computed — the classic barrier-
+synchronous conservative algorithm (a null-message-free safe window).
+
+Within a window, LP batches are executed under a **deterministic merge**:
+events run in global ``(time, priority, seq)`` order, exactly the order
+the sequential engine uses.  This serves two masters at once.  First, it
+is the *sequential-equivalence oracle* — same seed produces byte-identical
+traces on both engines, for any LP count, which tier-1 property tests and
+the parallel benchmark assert.  Second, on CPython with the GIL the model
+objects share one heap and per-event Python execution cannot overlap
+anyway; the merge makes that safe and exact, while the window/batch
+structure (per-LP heaps, horizon accounting, cross-partition delivery
+counts) is precisely what a free-threaded or multi-process executor would
+parallelise.  Deliveries that arrive *below* the lookahead (zero-delay
+event wakeups across partitions) are counted per LP — they measure how
+much protocol restructuring a fully distributed backend still needs, and
+are exported as the ``sim.lp.*`` observability probes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import heapq
+import math
+import time as _time
+import typing as _t
+
+from .engine import (
+    _COMPACT_MIN,
+    PRIORITY_NORMAL,
+    SimulationError,
+    Simulator,
+    TimerHandle,
+)
+from .events import AllOf, AnyOf, Event, Timeout
+
+
+class Partitioner:
+    """Deterministic host-to-LP assignment with a dedicated server LP.
+
+    Keys are arbitrary hashables (host names in practice).  ``None`` —
+    and anything the caller pins with it — maps to LP 0, the server/
+    data-server partition.  Other keys are dealt round-robin over LPs
+    ``1..n_lps-1`` in first-seen order, which is deterministic because
+    deployment construction order is deterministic.  With a single LP
+    everything maps to LP 0 and the engine degenerates to a sharded
+    sequential simulator.
+    """
+
+    def __init__(self, n_lps: int) -> None:
+        """A partitioner over *n_lps* logical processes (>= 1)."""
+        if n_lps < 1:
+            raise ValueError(f"n_lps must be >= 1, got {n_lps}")
+        self.n_lps = n_lps
+        self._assigned: dict[_t.Hashable, int] = {}
+        self._next = 0
+
+    def assign(self, key: _t.Hashable) -> int:
+        """The LP index owning *key* (stable across repeated calls)."""
+        if key is None or self.n_lps == 1:
+            return 0
+        lp = self._assigned.get(key)
+        if lp is None:
+            lp = 1 + self._next % (self.n_lps - 1)
+            self._next += 1
+            self._assigned[key] = lp
+        return lp
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Partitioner {len(self._assigned)} keys over {self.n_lps} LPs>"
+
+
+class LogicalProcess:
+    """One event-queue shard plus its execution and channel statistics."""
+
+    __slots__ = ("index", "heap", "cancelled", "executed", "cross_in",
+                 "below_lookahead", "lag_sum", "lag_windows", "lag_max")
+
+    def __init__(self, index: int) -> None:
+        """An empty LP shard numbered *index* (0 = server partition)."""
+        self.index = index
+        #: This LP's event heap (same entry layout as the sequential engine).
+        self.heap: list[tuple[float, int, int, _t.Callable[..., None], tuple,
+                              TimerHandle | None]] = []
+        #: Lazily-cancelled entries still buried in the heap.
+        self.cancelled = 0
+        #: Events this LP has executed.
+        self.executed = 0
+        #: Cross-partition deliveries received (scheduled by another LP).
+        self.cross_in = 0
+        #: Cross-partition deliveries that arrived with less delay than the
+        #: lookahead — the couplings a distributed backend must restructure.
+        self.below_lookahead = 0
+        #: Horizon-lag accounting: distance of this LP's next event from the
+        #: window base, summed per window (exported as ``sim.lp.lag``).
+        self.lag_sum = 0.0
+        self.lag_windows = 0
+        self.lag_max = 0.0
+
+    def pending(self) -> int:
+        """Live (non-cancelled) entries in this LP's heap."""
+        return len(self.heap) - self.cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<LP{self.index} pending={self.pending()} "
+                f"executed={self.executed}>")
+
+
+class ParallelSimulator(Simulator):
+    """LP-partitioned conservative-synchronization drop-in for :class:`Simulator`.
+
+    Same public surface as the sequential engine — model code does not
+    change — plus partition routing (:meth:`partition`), the lookahead
+    knob, and per-LP statistics (:meth:`lp_stats`).  See the module
+    docstring for the synchronization algorithm and the determinism
+    contract (byte-identical traces versus the sequential engine).
+    """
+
+    def __init__(self, start_time: float = 0.0, n_lps: int = 1,
+                 lookahead: float = 0.0,
+                 partitioner: Partitioner | None = None) -> None:
+        """An empty parallel simulator with *n_lps* logical processes.
+
+        *lookahead* is the conservative window slack in simulated seconds
+        (usually derived from access-link latency and updated via
+        :meth:`shrink_lookahead` as hosts join); *partitioner* defaults to
+        a fresh :class:`Partitioner` over *n_lps*.
+        """
+        super().__init__(start_time)
+        if lookahead < 0 or math.isnan(lookahead):
+            raise ValueError(f"lookahead must be >= 0, got {lookahead}")
+        self.partitioner = partitioner or Partitioner(n_lps)
+        if self.partitioner.n_lps != n_lps:
+            raise ValueError("partitioner.n_lps disagrees with n_lps")
+        #: The logical processes, index 0 being the server partition.
+        self.lps: list[LogicalProcess] = [LogicalProcess(i)
+                                          for i in range(n_lps)]
+        #: Conservative window slack in simulated seconds.
+        self.lookahead = float(lookahead)
+        #: Safe windows executed so far.
+        self.window_count = 0
+        #: Events executed across all windows (== dispatch_count after run).
+        self.window_events_total = 0
+        #: Largest single-window event batch.
+        self.window_events_max = 0
+        self._current: LogicalProcess = self.lps[0]
+        self._dispatching = False
+        self._live = 0
+
+    # -- partition routing -----------------------------------------------------
+    @property
+    def lp_count(self) -> int:
+        """Number of logical processes."""
+        return len(self.lps)
+
+    def partition(self, key: _t.Hashable) -> _t.ContextManager[None]:
+        """Scope within which scheduling targets *key*'s logical process."""
+        return self._pinned(self.lps[self.partitioner.assign(key)])
+
+    @contextlib.contextmanager
+    def _pinned(self, lp: LogicalProcess) -> _t.Iterator[None]:
+        """Temporarily make *lp* the routing target for new entries."""
+        prev = self._current
+        self._current = lp
+        try:
+            yield
+        finally:
+            self._current = prev
+
+    def shrink_lookahead(self, seconds: float) -> float:
+        """Lower the lookahead to *seconds* if smaller; returns the new value.
+
+        Called as hosts join a deployment: the safe-window slack is the
+        *minimum* latency any cross-partition message pays, so a new host
+        with a faster access link can only shrink it.
+        """
+        if seconds < 0 or math.isnan(seconds):
+            raise ValueError(f"lookahead must be >= 0, got {seconds}")
+        if seconds < self.lookahead:
+            self.lookahead = float(seconds)
+        return self.lookahead
+
+    def _target_lp(self, fn: _t.Callable[..., None]) -> LogicalProcess:
+        """The LP an entry for *fn* belongs to.
+
+        Bound methods of an :class:`Event` (process resumptions, timeout
+        firings, condition wakeups) are delivered into the event's home
+        LP; everything else inherits the current routing target — the
+        executing LP during dispatch, or the innermost
+        :meth:`partition` scope during model construction.
+        """
+        owner = getattr(fn, "__self__", None)
+        lp = getattr(owner, "lp", None)
+        return lp if lp is not None else self._current
+
+    def _account_push(self, lp: LogicalProcess, delay: float) -> None:
+        """Live-count/peak bookkeeping plus cross-partition send stats."""
+        self._live += 1
+        if self._live > self.peak_pending:
+            self.peak_pending = self._live
+        if self._dispatching and lp is not self._current:
+            lp.cross_in += 1
+            if delay < self.lookahead:
+                lp.below_lookahead += 1
+
+    # -- scheduling ------------------------------------------------------------
+    def schedule(self, delay: float, fn: _t.Callable[..., None], *args: _t.Any,
+                 priority: int = PRIORITY_NORMAL) -> None:
+        """Run ``fn(*args)`` *delay* seconds from now, in its owner's LP."""
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(
+                f"cannot schedule {delay!r} seconds into the past")
+        lp = self._target_lp(fn)
+        heapq.heappush(
+            lp.heap,
+            (self._now + delay, priority, next(self._seq), fn, args, None))
+        self._account_push(lp, delay)
+
+    def schedule_cancellable(self, delay: float, fn: _t.Callable[..., None],
+                             *args: _t.Any,
+                             priority: int = PRIORITY_NORMAL) -> TimerHandle:
+        """Like :meth:`schedule` but returns a cancellation handle."""
+        if delay < 0 or math.isnan(delay):
+            raise SimulationError(
+                f"cannot schedule {delay!r} seconds into the past")
+        lp = self._target_lp(fn)
+        handle = TimerHandle(self)
+        handle.lp = lp
+        heapq.heappush(
+            lp.heap,
+            (self._now + delay, priority, next(self._seq), fn, args, handle))
+        self._account_push(lp, delay)
+        return handle
+
+    def _note_cancel(self, handle: TimerHandle) -> None:
+        """Per-LP lazy-cancellation accounting with opportunistic compaction."""
+        self._live -= 1
+        lp: LogicalProcess = handle.lp
+        lp.cancelled += 1
+        if (lp.cancelled > _COMPACT_MIN
+                and lp.cancelled * 2 > len(lp.heap)):
+            lp.heap = [entry for entry in lp.heap
+                       if entry[5] is None or entry[5].active]
+            heapq.heapify(lp.heap)
+            lp.cancelled = 0
+
+    # -- event / process factories ----------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """A fresh pending event homed in the current partition."""
+        ev = Event(self, name=name)
+        ev.lp = self._current
+        return ev
+
+    def timeout(self, delay: float, value: _t.Any = None,
+                name: str = "") -> Timeout:
+        """An auto-firing event homed in the current partition."""
+        ev = Timeout(self, delay, value=value, name=name)
+        ev.lp = self._current
+        return ev
+
+    def all_of(self, events: _t.Iterable[Event]) -> AllOf:
+        """All-of condition homed in the current partition."""
+        ev = AllOf(self, events)
+        ev.lp = self._current
+        return ev
+
+    def any_of(self, events: _t.Iterable[Event]) -> AnyOf:
+        """Any-of condition homed in the current partition."""
+        ev = AnyOf(self, events)
+        ev.lp = self._current
+        return ev
+
+    def process(self, gen: _t.Generator, name: str = "") -> "Process":
+        """Spawn a generator process homed in the current partition."""
+        from .process import Process  # local import to avoid a cycle
+
+        proc = Process(self, gen, name=name)
+        proc.lp = self._current
+        return proc
+
+    # -- execution ---------------------------------------------------------------
+    def _head(self) -> tuple[tuple[float, int, int], LogicalProcess] | None:
+        """Globally earliest live entry key and its LP (fronts pruned)."""
+        best: tuple[float, int, int] | None = None
+        best_lp: LogicalProcess | None = None
+        for lp in self.lps:
+            heap = lp.heap
+            while heap:
+                handle = heap[0][5]
+                if handle is None or handle.active:
+                    break
+                heapq.heappop(heap)
+                lp.cancelled -= 1
+            if heap:
+                entry = heap[0]
+                key = (entry[0], entry[1], entry[2])
+                if best is None or key < best:
+                    best = key
+                    best_lp = lp
+        if best is None:
+            return None
+        return best, best_lp  # type: ignore[return-value]
+
+    def _prune(self) -> None:
+        """Drop cancelled entries from the front of every LP heap."""
+        for lp in self.lps:
+            heap = lp.heap
+            while heap:
+                handle = heap[0][5]
+                if handle is None or handle.active:
+                    break
+                heapq.heappop(heap)
+                lp.cancelled -= 1
+
+    def _execute(self, lp: LogicalProcess) -> None:
+        """Pop and dispatch *lp*'s front entry (the global minimum)."""
+        when, _prio, _seq, fn, args, handle = heapq.heappop(lp.heap)
+        if when < self._now:  # pragma: no cover - defensive; cannot happen
+            raise SimulationError("event queue went backwards in time")
+        if handle is not None:
+            handle.active = False  # fired; a later cancel() is a no-op
+        self._now = when
+        self.dispatch_count += 1
+        self._live -= 1
+        lp.executed += 1
+        self._current = lp
+        self._dispatching = True
+        try:
+            hook = self.dispatch_hook
+            if hook is None:
+                fn(*args)
+            else:
+                t0 = _time.perf_counter()
+                fn(*args)
+                hook(fn, args, _time.perf_counter() - t0)
+        finally:
+            self._dispatching = False
+
+    def step(self) -> bool:
+        """Execute the globally next callback.  Returns False when empty."""
+        head = self._head()
+        if head is None:
+            return False
+        self._execute(head[1])
+        return True
+
+    def peek(self) -> float:
+        """Timestamp of the next live callback across all LPs (inf if none)."""
+        head = self._head()
+        return head[0][0] if head is not None else math.inf
+
+    def pending(self) -> int:
+        """Live (non-cancelled) callbacks scheduled across all LPs."""
+        return self._live
+
+    def run(self, until: float | None = None,
+            until_event: Event | None = None,
+            max_steps: int | None = None) -> None:
+        """Run conservative safe windows until done (sequential semantics).
+
+        Window loop: take the globally earliest timestamp ``t_min``,
+        open the horizon ``t_min + lookahead``, and execute every event
+        below it — in deterministic global ``(time, priority, seq)``
+        merge order — before recomputing.  Stop/until/until_event/
+        max_steps semantics match :meth:`Simulator.run` event for event,
+        which is what makes the two engines trace-identical.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        self._stopped = False
+        steps = 0
+        try:
+            while not self._stopped:
+                if until_event is not None and until_event.triggered:
+                    break
+                head = self._head()
+                if head is None:
+                    break
+                t_min = head[0][0]
+                if until is not None and t_min > until:
+                    break
+                horizon = t_min + self.lookahead
+                self.window_count += 1
+                for lp in self.lps:
+                    if lp.heap:
+                        lag = lp.heap[0][0] - t_min
+                        lp.lag_sum += lag
+                        lp.lag_windows += 1
+                        if lag > lp.lag_max:
+                            lp.lag_max = lag
+                window_events = 0
+                while not self._stopped:
+                    if until_event is not None and until_event.triggered:
+                        break
+                    head = self._head()
+                    if head is None:
+                        break
+                    when = head[0][0]
+                    if when > horizon or (until is not None and when > until):
+                        break
+                    if max_steps is not None and steps >= max_steps:
+                        raise SimulationError(
+                            f"exceeded max_steps={max_steps}; likely a "
+                            f"livelock (t={self._now:.3f}, "
+                            f"queue={self.pending()})")
+                    self._execute(head[1])
+                    steps += 1
+                    window_events += 1
+                self.window_events_total += window_events
+                if window_events > self.window_events_max:
+                    self.window_events_max = window_events
+                if window_events == 0:
+                    break  # a guard fired before the window's first event
+        finally:
+            self._running = False
+        # Mirror the sequential engine's end-of-run clock advance exactly.
+        if (until is not None and self._now < until and not self._stopped
+                and (until_event is None or not until_event.triggered)):
+            head = self._head()
+            if head is None or head[0][0] > until:
+                self._now = until
+
+    # -- statistics ----------------------------------------------------------------
+    def mean_window_events(self) -> float:
+        """Average events executed per safe window (0 before any window)."""
+        if self.window_count == 0:
+            return 0.0
+        return self.window_events_total / self.window_count
+
+    def cross_deliveries(self) -> int:
+        """Total cross-partition deliveries received, all LPs."""
+        return sum(lp.cross_in for lp in self.lps)
+
+    def lp_stats(self) -> list[dict[str, _t.Any]]:
+        """Per-LP statistics rows (JSON-able) for probes and benchmarks."""
+        rows = []
+        for lp in self.lps:
+            rows.append({
+                "lp": lp.index,
+                "executed": lp.executed,
+                "pending": lp.pending(),
+                "cross_in": lp.cross_in,
+                "below_lookahead": lp.below_lookahead,
+                "lag_mean": (lp.lag_sum / lp.lag_windows
+                             if lp.lag_windows else 0.0),
+                "lag_max": lp.lag_max,
+            })
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<ParallelSimulator t={self._now:.3f} lps={self.lp_count} "
+                f"pending={self.pending()} windows={self.window_count}>")

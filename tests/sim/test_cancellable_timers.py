@@ -94,3 +94,67 @@ class TestQueueAccounting:
         survivors = [i for i in range(10) if i not in (1, 4, 7)]
         assert run(cancel=True) == survivors
         assert [i for i in run(cancel=False) if i not in (1, 4, 7)] == survivors
+
+
+class TestLazyPruning:
+    """Regression tests for the lazy-heap-pruning blind spot.
+
+    Before opportunistic compaction, mass cancellation (connection-retry
+    timers, speculative-execution kills) left tombstones in the heap until
+    the clock happened to sweep past them — ``pending()`` stayed correct
+    but memory and push/pop costs grew unboundedly far in the future.
+    """
+
+    def test_pending_correct_with_many_cancelled(self):
+        sim = Simulator()
+        live = [sim.schedule_cancellable(1e9 + i, lambda: None)
+                for i in range(3)]
+        dead = [sim.schedule_cancellable(5e8 + i, lambda: None)
+                for i in range(2000)]
+        assert sim.pending() == 2003
+        for h in dead:
+            h.cancel()
+        assert sim.pending() == 3
+        assert all(h.active for h in live)
+
+    def test_peak_pending_unaffected_by_compaction(self):
+        sim = Simulator()
+        handles = [sim.schedule_cancellable(float(i + 1), lambda: None)
+                   for i in range(2000)]
+        assert sim.peak_pending == 2000
+        for h in handles:
+            h.cancel()
+        # Compaction shrinks the queue but never rewrites the high-water
+        # mark; pending() drops to the true live count.
+        assert sim.peak_pending == 2000
+        assert sim.pending() == 0
+
+    def test_compaction_bounds_heap_memory(self):
+        """Cancelled tombstones are swept once they dominate the heap."""
+        sim = Simulator()
+        keeper = sim.schedule_cancellable(1e9, lambda: None)
+        for _ in range(2000):
+            sim.schedule_cancellable(1.0, lambda: None).cancel()
+        # Without compaction the queue would hold 2001 entries.
+        assert len(sim._queue) < 1200
+        assert sim.pending() == 1
+        assert keeper.active
+
+    def test_compaction_preserves_survivor_order(self):
+        sim = Simulator()
+        order = []
+        for i in range(20):
+            sim.schedule_cancellable(float(100 + i), order.append, i)
+        for _ in range(2000):
+            sim.schedule_cancellable(1.0, lambda: None).cancel()
+        sim.run()
+        assert order == list(range(20))
+
+    def test_small_churn_stays_lazy(self):
+        """Below the threshold, cancel() must not pay a compaction sweep."""
+        sim = Simulator()
+        for _ in range(100):
+            sim.schedule_cancellable(1.0, lambda: None).cancel()
+        # Tombstones are still present (pruned lazily at pop time).
+        assert len(sim._queue) == 100
+        assert sim.pending() == 0

@@ -1,0 +1,246 @@
+"""Unit tests for the LP-partitioned parallel engine (repro.sim.parallel)."""
+
+import pytest
+
+from repro.sim import (
+    ParallelSimulator,
+    Partitioner,
+    SimulationError,
+    Simulator,
+)
+
+
+class TestPartitioner:
+    def test_none_maps_to_server_lp(self):
+        part = Partitioner(4)
+        assert part.assign(None) == 0
+
+    def test_round_robin_over_worker_lps(self):
+        part = Partitioner(3)  # LP 0 reserved; workers are 1 and 2
+        assert [part.assign(f"h{i}") for i in range(5)] == [1, 2, 1, 2, 1]
+
+    def test_assignment_is_stable(self):
+        part = Partitioner(4)
+        first = part.assign("alpha")
+        for _ in range(3):
+            part.assign("beta")
+            assert part.assign("alpha") == first
+
+    def test_single_lp_takes_everything(self):
+        part = Partitioner(1)
+        assert part.assign("x") == 0 and part.assign(None) == 0
+
+    def test_rejects_zero_lps(self):
+        with pytest.raises(ValueError):
+            Partitioner(0)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        sim = ParallelSimulator(n_lps=4)
+        assert sim.lp_count == 4
+        assert sim.pending() == 0
+
+    def test_rejects_negative_lookahead(self):
+        with pytest.raises(ValueError):
+            ParallelSimulator(n_lps=2, lookahead=-1.0)
+
+    def test_rejects_mismatched_partitioner(self):
+        with pytest.raises(ValueError):
+            ParallelSimulator(n_lps=2, partitioner=Partitioner(3))
+
+    def test_shrink_lookahead_only_lowers(self):
+        sim = ParallelSimulator(n_lps=2, lookahead=0.5)
+        assert sim.shrink_lookahead(0.9) == 0.5
+        assert sim.shrink_lookahead(0.1) == 0.1
+        with pytest.raises(ValueError):
+            sim.shrink_lookahead(-0.1)
+
+
+class TestRouting:
+    def test_partition_scope_routes_scheduling(self):
+        sim = ParallelSimulator(n_lps=3)
+        with sim.partition("h0"):
+            sim.schedule(1.0, lambda: None)
+        target = sim.lps[sim.partitioner.assign("h0")]
+        assert target.index != 0
+        assert len(target.heap) == 1
+        assert not sim.lps[0].heap
+
+    def test_executing_lp_inherited_by_new_entries(self):
+        sim = ParallelSimulator(n_lps=3)
+        hit = []
+
+        def chained():
+            hit.append(sim.now)
+
+        def first():
+            sim.schedule(1.0, chained)
+
+        with sim.partition("h0"):
+            sim.schedule(1.0, first)
+        sim.run()
+        lp = sim.lps[sim.partitioner.assign("h0")]
+        assert lp.executed == 2 and hit == [2.0]
+
+    def test_event_waiter_resumes_in_home_lp(self):
+        sim = ParallelSimulator(n_lps=3, lookahead=1.0)
+        log = []
+
+        with sim.partition("h0"):
+            ev = sim.event("wakeup")
+
+            def waiter():
+                got = yield ev
+                log.append(got)
+
+            sim.process(waiter())
+        with sim.partition(None):
+            # A bare lambda has no home LP, so it executes in LP 0; the
+            # trigger inside it then schedules the waiter's resume.
+            sim.schedule(5.0, lambda: ev.trigger(42))
+        sim.run()
+        assert log == [42]
+        home = sim.lps[sim.partitioner.assign("h0")]
+        # The trigger ran in LP 0; the resume was a cross-partition delivery
+        # into the waiter's LP, under the lookahead (zero-delay wakeup).
+        assert home.cross_in >= 1
+        assert home.below_lookahead >= 1
+        assert sim.cross_deliveries() >= 1
+
+    def test_factories_stamp_home_lp(self):
+        sim = ParallelSimulator(n_lps=2)
+        with sim.partition("h0"):
+            assert sim.event().lp is sim.lps[1]
+            assert sim.timeout(1.0).lp is sim.lps[1]
+            assert sim.all_of([sim.event()]).lp is sim.lps[1]
+            assert sim.any_of([sim.event()]).lp is sim.lps[1]
+        assert sim.event().lp is sim.lps[0]
+
+
+class TestExecutionSemantics:
+    def _interleaved(self, sim, use_partition):
+        order = []
+        for i in range(12):
+            delay = (i * 7) % 5 + 0.5
+            if use_partition:
+                with sim.partition(f"h{i % 4}"):
+                    sim.schedule(delay, order.append, (delay, i))
+            else:
+                sim.schedule(delay, order.append, (delay, i))
+        sim.run()
+        return order
+
+    def test_merge_order_matches_sequential(self):
+        baseline = self._interleaved(Simulator(), False)
+        for n in (1, 2, 4):
+            got = self._interleaved(
+                ParallelSimulator(n_lps=n, lookahead=0.25), True)
+            assert got == baseline
+
+    def test_run_until_advances_clock(self):
+        sim = ParallelSimulator(n_lps=2)
+        with sim.partition("h0"):
+            sim.schedule(1.0, lambda: None)
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_run_until_event_stops(self):
+        sim = ParallelSimulator(n_lps=2, lookahead=10.0)
+        ev = sim.event()
+        with sim.partition("h0"):
+            sim.schedule(1.0, ev.trigger)
+            sim.schedule(5.0, lambda: None)
+        sim.run(until_event=ev)
+        # Stops once the event has fired; the 5.0 entry stays queued.
+        assert sim.now < 5.0 and sim.pending() == 1
+
+    def test_stop_halts_mid_window(self):
+        sim = ParallelSimulator(n_lps=2, lookahead=100.0)
+        ran = []
+        with sim.partition("h0"):
+            sim.schedule(1.0, lambda: (ran.append("a"), sim.stop()))
+            sim.schedule(2.0, ran.append, "b")
+        sim.run()
+        assert ran == ["a"] and sim.pending() == 1
+
+    def test_max_steps_raises(self):
+        sim = ParallelSimulator(n_lps=2)
+
+        def respawn():
+            sim.schedule(1.0, respawn)
+
+        sim.schedule(1.0, respawn)
+        with pytest.raises(SimulationError, match="max_steps"):
+            sim.run(max_steps=50)
+
+    def test_reentrant_run_rejected(self):
+        sim = ParallelSimulator(n_lps=2)
+        errors = []
+
+        def inner():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, inner)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_step_and_peek(self):
+        sim = ParallelSimulator(n_lps=2)
+        with sim.partition("h0"):
+            sim.schedule(2.0, lambda: None)
+        with sim.partition(None):
+            sim.schedule(1.0, lambda: None)
+        assert sim.peek() == 1.0
+        assert sim.step() is True
+        assert sim.now == 1.0
+        assert sim.step() is True and sim.step() is False
+        assert sim.peek() == pytest.approx(float("inf"))
+
+
+class TestAccounting:
+    def test_pending_and_peak_across_lps(self):
+        sim = ParallelSimulator(n_lps=3)
+        handles = []
+        for i in range(6):
+            with sim.partition(f"h{i % 2}"):
+                handles.append(sim.schedule_cancellable(float(i + 1),
+                                                        lambda: None))
+        assert sim.pending() == 6 and sim.peak_pending == 6
+        handles[0].cancel()
+        handles[3].cancel()
+        assert sim.pending() == 4
+        sim.run()
+        assert sim.pending() == 0
+        assert sim.dispatch_count == 4
+        assert sim.peak_pending == 6
+
+    def test_window_statistics_populated(self):
+        sim = ParallelSimulator(n_lps=2, lookahead=0.5)
+        for i in range(8):
+            with sim.partition(f"h{i}"):
+                sim.schedule(float(i) * 0.25, lambda: None)
+        sim.run()
+        assert sim.window_count >= 1
+        assert sim.window_events_total == 8
+        assert sim.mean_window_events() > 0
+        rows = sim.lp_stats()
+        assert [r["lp"] for r in rows] == [0, 1]
+        assert sum(r["executed"] for r in rows) == 8
+        for row in rows:
+            assert {"pending", "cross_in", "below_lookahead", "lag_mean",
+                    "lag_max"} <= row.keys()
+
+    def test_per_lp_compaction_bounds_heap(self):
+        sim = ParallelSimulator(n_lps=2)
+        with sim.partition("h0"):
+            live = sim.schedule_cancellable(1e6, lambda: None)
+            for _ in range(1200):
+                sim.schedule_cancellable(1.0, lambda: None).cancel()
+        lp = sim.lps[1]
+        assert len(lp.heap) < 1200
+        assert sim.pending() == 1
+        assert live.active
