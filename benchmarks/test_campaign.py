@@ -12,6 +12,11 @@ wall-clock and speedup-vs-sequential of each width, for two workloads:
   These are CPU-bound, so their speedup is additionally capped by the
   machine's core count; the emitted report records ``cpus`` so the
   numbers are interpretable.
+- ``coordinator`` — the same synthetic sweep through the distributed
+  control plane (:class:`repro.campaign.CampaignCoordinator` + spawned
+  workers over TCP) at the same widths, so the lease/heartbeat/socket
+  overhead versus the in-process pool is a number in the report rather
+  than folklore.
 
 Also asserts the campaign determinism contract end to end: the pooled
 run's per-cell payloads are byte-identical to an in-process sequential
@@ -35,6 +40,7 @@ import time
 from repro.analysis import render_campaign_table, aggregate_records
 from repro.campaign import (
     CampaignCell,
+    CampaignCoordinator,
     CampaignGrid,
     CampaignRunner,
     ResultStore,
@@ -107,6 +113,37 @@ def time_sweep(grid: CampaignGrid, widths: tuple[int, ...]) -> dict:
     return entry
 
 
+def time_coordinator_sweep(grid: CampaignGrid,
+                           widths: tuple[int, ...]) -> dict:
+    """Wall-clock the grid through the TCP control plane at each width.
+
+    The interesting number is the comparison against ``time_sweep`` on
+    the same grid: identical work, but every cell travels through a
+    lease grant, heartbeats, and a line-JSON result upload.
+    """
+    entry: dict = {"cells": len(grid), "widths": []}
+    baseline = None
+    for workers in widths:
+        with tempfile.TemporaryDirectory() as tmp:
+            coordinator = CampaignCoordinator(
+                grid, ResultStore(os.path.join(tmp, "store.jsonl")),
+                spawn=workers, heartbeat_s=0.25)
+            t0 = time.perf_counter()
+            report = coordinator.run()
+            wall = time.perf_counter() - t0
+        assert report.ok and report.ran == len(grid), report.render()
+        if baseline is None:
+            baseline = wall
+        entry["widths"].append({
+            "workers": workers,
+            "wall_s": round(wall, 3),
+            "speedup": round(baseline / wall, 2),
+        })
+        print(f"  {grid.name:18s} spawn={workers}  wall {wall:6.2f}s  "
+              f"speedup {baseline / wall:5.2f}x  (coordinator)", flush=True)
+    return entry
+
+
 def check_determinism_and_resume(grid: CampaignGrid, workers: int = 8) -> None:
     """Pooled payloads byte-identical to sequential; resume re-runs zero."""
     with tempfile.TemporaryDirectory() as tmp:
@@ -138,20 +175,30 @@ def run_suite(widths: tuple[int, ...] | None = None) -> dict:
         "widths": list(widths),
         "synthetic": time_sweep(synthetic_grid(), widths),
         "simulation": time_sweep(simulation_grid(), widths),
+        "coordinator": time_coordinator_sweep(synthetic_grid(), widths),
     }
     best = max(w["workers"] for w in report["synthetic"]["widths"])
+
+    def _at_best(section: str) -> dict:
+        return next(w for w in report[section]["widths"]
+                    if w["workers"] == best)
+
+    pool_wall = _at_best("synthetic")["wall_s"]
+    coord_wall = _at_best("coordinator")["wall_s"]
     report["headline"] = {
         "cells": N_CELLS,
         "workers": best,
-        "synthetic_speedup": next(
-            w["speedup"] for w in report["synthetic"]["widths"]
-            if w["workers"] == best),
-        "simulation_speedup": next(
-            w["speedup"] for w in report["simulation"]["widths"]
-            if w["workers"] == best),
+        "synthetic_speedup": _at_best("synthetic")["speedup"],
+        "simulation_speedup": _at_best("simulation")["speedup"],
+        "coordinator_speedup": _at_best("coordinator")["speedup"],
+        # control-plane tax at the widest point: distributed wall over
+        # in-process-pool wall on identical wall-clock-bound work.
+        "coordinator_overhead_x": round(coord_wall / pool_wall, 2)
+        if pool_wall > 0 else None,
         "note": ("synthetic cells are wall-clock-bound (runner fan-out "
                  "capability); simulation cells are CPU-bound and capped "
-                 "by the host's core count"),
+                 "by the host's core count; coordinator runs the "
+                 "synthetic sweep through the TCP lease control plane"),
     }
     return report
 
@@ -172,6 +219,10 @@ def test_campaign_benchmark():
     # The runner's fan-out is near-linear: 32 wall-clock-bound cells at 8
     # workers must beat the sequential pass by >= 4x on any host.
     assert report["headline"]["synthetic_speedup"] >= 4.0, report["headline"]
+    # The control plane must still fan out (leases are cheap relative to
+    # 0.2s cells) — >= 3x at 8 workers leaves room for socket overhead.
+    assert report["headline"]["coordinator_speedup"] >= 3.0, \
+        report["headline"]
     # Real cells additionally need the cores to run on; only assert the
     # parallel speedup where the hardware can express it.
     if report["cpus"] >= 8:

@@ -12,6 +12,7 @@ summarise the headline metric across seeds with the existing
 from __future__ import annotations
 
 import dataclasses
+import math
 import typing as _t
 
 from .stats import Summary, summarise
@@ -49,11 +50,36 @@ class GroupStats:
     #: that makes sequential-vs-parallel engine campaigns directly
     #: comparable from the aggregate table.
     events_per_s: float = 0.0
+    #: Paper-reported counterpart of the headline metric, when the
+    #: cells carry one (a ``paper_<metric>`` payload field — the
+    #: Table I rows do); ``None`` otherwise.
+    paper_mean: float | None = None
 
     @property
     def n(self) -> int:
         """Number of completed cells aggregated into this group."""
         return self.summary.n
+
+    @property
+    def stddev(self) -> float:
+        """Cross-seed sample standard deviation of the headline metric."""
+        return self.summary.stddev
+
+    @property
+    def ci95(self) -> float:
+        """Half-width of the normal-approximation 95% confidence band
+        around the cross-seed mean (0.0 when n < 2)."""
+        if self.summary.n < 2:
+            return 0.0
+        return 1.96 * self.summary.stddev / math.sqrt(self.summary.n)
+
+    @property
+    def paper_delta(self) -> float | None:
+        """Fractional deviation of the simulated mean from the paper's
+        reported value (``None`` when the paper reported nothing)."""
+        if self.paper_mean is None or self.paper_mean == 0:
+            return None
+        return self.summary.mean / self.paper_mean - 1.0
 
 
 def _numeric_means(payloads: _t.Sequence[_t.Mapping[str, _t.Any]]
@@ -92,13 +118,16 @@ def aggregate_records(records: _t.Iterable["CellRecord"]
         events = [float(m.result["events"]) for m in ok
                   if "wall_s" in m.meta and "events" in m.result]
         wall_sum = sum(walls)
+        papers = [float(m.result[f"paper_{metric}"]) for m in ok
+                  if f"paper_{metric}" in m.result]
         out.append(GroupStats(
             group=group, kind=kind, summary=summarise(values),
             field_means=_numeric_means([m.result for m in ok]),
             failed=failed,
             wall_mean=wall_sum / len(walls) if walls else 0.0,
             events_per_s=sum(events) / wall_sum
-            if events and wall_sum > 0 else 0.0))
+            if events and wall_sum > 0 else 0.0,
+            paper_mean=sum(papers) / len(papers) if papers else None))
     return out
 
 
@@ -114,15 +143,21 @@ def render_campaign_table(stats: _t.Sequence[GroupStats],
     """Aggregates as a monospace table (one row per group)."""
     if not stats:
         return "(no completed cells)"
-    headers = ["group", "kind", "n", "mean", "p50", "p90", "min", "max",
-               "wall", "ev/s", "failed"]
+    headers = ["group", "kind", "n", "mean", "sd", "ci95", "p50", "p90",
+               "min", "max", "paper", "delta", "wall", "ev/s", "failed"]
     rows = []
     for s in stats:
         rows.append([
             s.group, s.kind, s.n,
-            f"{s.summary.mean:.1f}", f"{s.summary.p50:.1f}",
+            f"{s.summary.mean:.1f}",
+            f"{s.stddev:.1f}" if s.n > 1 else "-",
+            f"+/-{s.ci95:.1f}" if s.n > 1 else "-",
+            f"{s.summary.p50:.1f}",
             f"{s.summary.p90:.1f}", f"{s.summary.minimum:.1f}",
             f"{s.summary.maximum:.1f}",
+            f"{s.paper_mean:.1f}" if s.paper_mean is not None else "-",
+            f"{s.paper_delta * 100:+.1f}%"
+            if s.paper_delta is not None else "-",
             f"{s.wall_mean:.2f}s" if s.wall_mean > 0 else "-",
             f"{s.events_per_s:,.0f}" if s.events_per_s > 0 else "-",
             s.failed,

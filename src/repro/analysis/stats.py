@@ -23,6 +23,8 @@ class Summary:
     p99: float
     minimum: float
     maximum: float
+    #: Sample standard deviation (Bessel-corrected; 0.0 when n < 2).
+    stddev: float = 0.0
 
     def text(self, unit: str = "s") -> str:
         """One-line rendering: n, mean, p50/p90, min-max."""
@@ -55,14 +57,21 @@ def summarise(values: _t.Sequence[float]) -> Summary:
     """Descriptive summary of a sample (raises on empty input)."""
     if not values:
         raise ValueError("cannot summarise an empty sample")
+    mean = sum(values) / len(values)
+    if len(values) > 1:
+        stddev = math.sqrt(sum((v - mean) ** 2 for v in values)
+                           / (len(values) - 1))
+    else:
+        stddev = 0.0
     return Summary(
         n=len(values),
-        mean=sum(values) / len(values),
+        mean=mean,
         p50=percentile(values, 50),
         p90=percentile(values, 90),
         p99=percentile(values, 99),
         minimum=min(values),
         maximum=max(values),
+        stddev=stddev,
     )
 
 

@@ -8,17 +8,28 @@ package runs such grids concurrently without giving up determinism:
 - :mod:`repro.campaign.cells` — :func:`execute_cell`, the per-kind cell
   executors (scenario, table1, churn, replication, scale_out, sleep);
 - :mod:`repro.campaign.store` — the resumable append-only JSONL
-  :class:`ResultStore`;
+  :class:`ResultStore`, plus :func:`merge_stores` /
+  :func:`diff_stores` for multi-writer shard reconciliation;
 - :mod:`repro.campaign.runner` — :class:`CampaignRunner`: the
-  process-pool scheduler with per-cell timeout, retry, and quarantine.
+  process-pool scheduler with per-cell timeout, retry, and quarantine;
+- :mod:`repro.campaign.lease` — :class:`LeaseTable`, the pure
+  lease/reclaim/steal state machine under the distributed control
+  plane;
+- :mod:`repro.campaign.coordinator` /
+  :mod:`repro.campaign.worker` — the distributed control plane:
+  a TCP coordinator that leases cells to worker processes, detects
+  failures via heartbeats and connection loss, reclaims and re-leases
+  lost work, and steals stragglers near campaign end.
 
 Builtin grids for the paper's sweeps live in
 :mod:`repro.experiments.grids`; aggregation of a finished store into
 tables lives in :mod:`repro.analysis.campaign`; the CLI front end is
-``python -m repro campaign``.
+``python -m repro campaign`` (with ``coordinate`` / ``work`` /
+``merge`` / ``diff`` subcommands for the distributed mode).
 """
 
 from .cells import execute_cell
+from .coordinator import CampaignCoordinator, coordinate_campaign
 from .grid import (
     CELL_KINDS,
     CampaignCell,
@@ -27,20 +38,31 @@ from .grid import (
     cell_key,
     grid_from_toml,
 )
+from .lease import Lease, LeaseCounters, LeaseTable
 from .runner import CampaignReport, CampaignRunner, run_campaign
-from .store import CellRecord, ResultStore
+from .store import CellRecord, ResultStore, diff_stores, merge_stores
+from .worker import CampaignWorker, worker_entry
 
 __all__ = [
     "CELL_KINDS",
     "CampaignCell",
+    "CampaignCoordinator",
     "CampaignGrid",
     "CampaignReport",
     "CampaignRunner",
+    "CampaignWorker",
     "CellRecord",
+    "Lease",
+    "LeaseCounters",
+    "LeaseTable",
     "ResultStore",
     "canonical_json",
     "cell_key",
+    "coordinate_campaign",
+    "diff_stores",
     "execute_cell",
     "grid_from_toml",
+    "merge_stores",
     "run_campaign",
+    "worker_entry",
 ]

@@ -50,6 +50,23 @@ def _child_main(spec: dict[str, _t.Any],
         conn.close()
 
 
+def _shutdown_child(process: multiprocessing.Process,
+                    conn: multiprocessing.connection.Connection,
+                    grace_s: float = 5.0) -> None:
+    """Fully reap one cell child: terminate if needed (escalating to
+    SIGKILL after *grace_s*), join it, close its pipe, and release the
+    process handle — so a timed-out/revoked cell leaves no zombie
+    process and no leaked file descriptor behind."""
+    if process.is_alive():
+        process.terminate()
+        process.join(grace_s)
+        if process.is_alive():
+            process.kill()
+    process.join()
+    conn.close()
+    process.close()
+
+
 @dataclasses.dataclass(slots=True)
 class _Flight:
     """One in-flight cell attempt."""
@@ -73,6 +90,10 @@ class CampaignReport:
     failed: int
     wall_s: float
     quarantined: list[CellRecord] = dataclasses.field(default_factory=list)
+    #: Cells requeued after a lost lease (distributed runs only).
+    reclaimed: int = 0
+    #: Duplicate leases stolen from stragglers (distributed runs only).
+    stolen: int = 0
 
     @property
     def ok(self) -> bool:
@@ -84,6 +105,9 @@ class CampaignReport:
         lines = [f"campaign {self.grid!r}: {self.total} cells — "
                  f"{self.ran} ran, {self.skipped} skipped (resume), "
                  f"{self.failed} failed, wall {self.wall_s:.1f}s"]
+        if self.reclaimed or self.stolen:
+            lines[0] += (f" ({self.reclaimed} lease(s) reclaimed, "
+                         f"{self.stolen} stolen)")
         for rec in self.quarantined:
             error = str(rec.meta.get("error", "")).splitlines()
             lines.append(f"  quarantined {rec.key} "
@@ -226,11 +250,9 @@ class CampaignRunner:
             outcome = ("error",
                        f"worker died (exitcode {flight.process.exitcode})")
         else:  # deadline exceeded
-            flight.process.terminate()
             outcome = ("timeout",
                        f"cell exceeded {self.timeout_s:g}s wall-clock budget")
-        flight.process.join()
-        flight.conn.close()
+        _shutdown_child(flight.process, flight.conn)
         self._inflight.add(-1)
         return outcome
 

@@ -67,28 +67,38 @@ class ResultStore:
             fh.write(record.to_json() + "\n")
             fh.flush()
 
-    def load(self) -> dict[str, CellRecord]:
-        """All records by key, last occurrence winning.
+    def records(self) -> list[CellRecord]:
+        """Every record in file order (duplicates kept).
 
-        Tolerates a truncated/corrupt trailing line (the crash case);
+        Tolerates a truncated/corrupt trailing line (the crash case — a
+        writer killed mid-append, e.g. a SIGKILLed campaign worker);
         corruption anywhere else raises, because silently dropping
         completed results would quietly re-run work.
         """
         if not self.path.exists():
-            return {}
-        records: dict[str, CellRecord] = {}
+            return []
+        records: list[CellRecord] = []
         lines = self.path.read_text(encoding="utf-8").splitlines()
         for i, line in enumerate(lines):
             if not line.strip():
                 continue
             try:
-                record = CellRecord.from_json(line)
-            except (json.JSONDecodeError, KeyError) as exc:
+                records.append(CellRecord.from_json(line))
+            except (json.JSONDecodeError, KeyError, TypeError) as exc:
                 if i == len(lines) - 1:
                     break  # interrupted final write; resume re-runs the cell
                 raise ValueError(
                     f"corrupt campaign store {self.path} at line {i + 1}: "
                     f"{exc}") from exc
+        return records
+
+    def load(self) -> dict[str, CellRecord]:
+        """All records by key, last occurrence winning.
+
+        Same tolerance/corruption contract as :meth:`records`.
+        """
+        records: dict[str, CellRecord] = {}
+        for record in self.records():
             records[record.key] = record
         return records
 
@@ -103,3 +113,75 @@ class ResultStore:
 
     def __len__(self) -> int:
         return len(self.load())
+
+
+def _as_store(store: "ResultStore | str | pathlib.Path") -> ResultStore:
+    """Coerce a path-or-store argument into a :class:`ResultStore`."""
+    return store if isinstance(store, ResultStore) else ResultStore(store)
+
+
+def merge_stores(out: "ResultStore | str | pathlib.Path",
+                 shards: _t.Iterable["ResultStore | str | pathlib.Path"],
+                 ) -> dict[str, CellRecord]:
+    """Fold per-worker JSONL shards into one resumable store at *out*.
+
+    The distributed campaign's multi-writer merge: each worker appends
+    only to its own shard, so shards never contend, and this function
+    reconciles them after the fact.  Per key, a successful record beats
+    a failed one regardless of shard order (a retry that succeeded on
+    another worker supersedes the failures a killed worker left
+    behind); between records of equal status, the last one encountered
+    wins — the same rule :meth:`ResultStore.load` applies within one
+    file.  Each shard tolerates a torn trailing line (a writer
+    SIGKILLed mid-append) but mid-file corruption raises, and merging
+    *out* into itself is refused.  The merged mapping is also written
+    to *out* (failed record first when a key has both, so a plain
+    ``load()`` of the merged file resolves last-wins to the success)
+    and returned.
+    """
+    out_store = _as_store(out)
+    shard_stores = [_as_store(s) for s in shards]
+    out_path = out_store.path.resolve()
+    for shard in shard_stores:
+        if shard.path.resolve() == out_path:
+            raise ValueError(
+                f"refusing to merge store {out_store.path} into itself")
+    best: dict[str, CellRecord] = {}
+    failures: dict[str, CellRecord] = {}     # audit trail of lost attempts
+    for shard in shard_stores:
+        for record in shard.records():
+            if not record.ok:
+                failures[record.key] = record
+            current = best.get(record.key)
+            if current is None or record.ok or not current.ok:
+                best[record.key] = record
+    out_store.clear()
+    for key in sorted(best):
+        if best[key].ok and key in failures:
+            out_store.append(failures[key])
+        out_store.append(best[key])
+    return best
+
+
+def diff_stores(left: "ResultStore | str | pathlib.Path",
+                right: "ResultStore | str | pathlib.Path") -> list[str]:
+    """Compare the successful per-key payloads of two campaign stores.
+
+    Returns human-readable mismatch lines (empty list = the stores are
+    result-equivalent): keys completed in one store but not the other,
+    and keys whose deterministic ``result`` payloads differ.  ``meta``
+    (wall time, attempts, worker id) is ignored by design — it is the
+    nondeterministic half of a record — so a distributed run compares
+    equal to a sequential one whenever the science matches.
+    """
+    a = {k: r for k, r in _as_store(left).load().items() if r.ok}
+    b = {k: r for k, r in _as_store(right).load().items() if r.ok}
+    lines = []
+    for key in sorted(a.keys() | b.keys()):
+        if key not in b:
+            lines.append(f"{key}: only completed in {_as_store(left).path}")
+        elif key not in a:
+            lines.append(f"{key}: only completed in {_as_store(right).path}")
+        elif canonical_json(a[key].result) != canonical_json(b[key].result):
+            lines.append(f"{key}: payloads differ")
+    return lines

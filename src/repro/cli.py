@@ -191,11 +191,120 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _resolve_campaign_grid(args: argparse.Namespace) -> _t.Any:
+    """Resolve ``--grid``/``--seeds``/``--faults`` into a grid (or raise)."""
+    from .experiments import resolve_grid
+
+    seeds = None
+    if args.seeds:
+        try:
+            seeds = tuple(_seed_type(tok) for tok in args.seeds.split(","))
+        except argparse.ArgumentTypeError as exc:
+            raise ValueError(f"bad --seeds value: {exc}") from exc
+    return resolve_grid(args.grid, seeds=seeds, faults=args.faults)
+
+
+def _cmd_campaign_coordinate(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis import aggregate_store, render_campaign_table
+    from .campaign import CampaignCoordinator, ResultStore
+
+    try:
+        grid = _resolve_campaign_grid(args)
+    except (ValueError, OSError) as exc:
+        print(f"campaign coordinate: {exc}", file=sys.stderr)
+        return 2
+    coordinator = CampaignCoordinator(
+        grid, ResultStore(args.out), spawn=args.spawn, host=args.bind,
+        port=args.port, timeout_s=args.timeout, retries=args.retries,
+        resume=args.resume, heartbeat_s=args.heartbeat,
+        steal_after_s=args.steal_after, shard_dir=args.shard_dir,
+        chaos_kills=args.kill_workers,
+        chaos_interval_s=args.kill_interval,
+        wall_limit_s=args.wall_limit,
+        echo=None if args.quiet else print)
+    report = coordinator.run()
+    print(report.render())
+    if report.ran or report.skipped:
+        print(render_campaign_table(
+            aggregate_store(args.out),
+            title=f"campaign {grid.name!r} — headline metric by group"))
+    if args.summary_out:
+        with open(args.summary_out, "w", encoding="utf-8") as fh:
+            json.dump(coordinator.summary(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote control-plane summary to {args.summary_out}")
+    print(f"results in {args.out} "
+          f"(resume with --resume to skip completed cells)")
+    return 0 if report.ok else 1
+
+
+def _cmd_campaign_work(args: argparse.Namespace) -> int:
+    from .campaign import CampaignWorker, ResultStore
+
+    host, _, port = args.address.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"campaign work: address must be HOST:PORT, "
+              f"got {args.address!r}", file=sys.stderr)
+        return 2
+    worker = CampaignWorker(
+        host, int(port), worker_id=args.id,
+        shard=ResultStore(args.shard) if args.shard else None,
+        max_cells=args.max_cells)
+    completed = worker.run()
+    print(f"worker {worker.worker_id}: completed {completed} cell(s)")
+    return 0
+
+
+def _cmd_campaign_merge(args: argparse.Namespace) -> int:
+    from .campaign import merge_stores
+
+    try:
+        merged = merge_stores(args.out, args.shards)
+    except (ValueError, OSError) as exc:
+        print(f"campaign merge: {exc}", file=sys.stderr)
+        return 2
+    ok = sum(1 for r in merged.values() if r.ok)
+    print(f"merged {len(args.shards)} shard(s) into {args.out}: "
+          f"{len(merged)} cell(s), {ok} ok, {len(merged) - ok} failed")
+    return 0
+
+
+def _cmd_campaign_diff(args: argparse.Namespace) -> int:
+    from .campaign import diff_stores
+
+    try:
+        mismatches = diff_stores(args.left, args.right)
+    except (ValueError, OSError) as exc:
+        print(f"campaign diff: {exc}", file=sys.stderr)
+        return 2
+    for line in mismatches:
+        print(line)
+    if mismatches:
+        print(f"{len(mismatches)} mismatch(es) between "
+              f"{args.left} and {args.right}")
+        return 1
+    print(f"stores {args.left} and {args.right} are result-equivalent")
+    return 0
+
+
+_CAMPAIGN_MODES: dict[str, _t.Callable[[argparse.Namespace], int]] = {
+    "coordinate": _cmd_campaign_coordinate,
+    "work": _cmd_campaign_work,
+    "merge": _cmd_campaign_merge,
+    "diff": _cmd_campaign_diff,
+}
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from .analysis import aggregate_store, render_campaign_table
     from .campaign import CampaignRunner, ResultStore
     from .experiments import GRID_BUILDERS, resolve_grid
 
+    mode = getattr(args, "mode", None)
+    if mode is not None:
+        return _CAMPAIGN_MODES[mode](args)
     if args.list_grids:
         for name in sorted(GRID_BUILDERS):
             grid = GRID_BUILDERS[name]()
@@ -288,6 +397,110 @@ def _seed_type(text: str) -> int:
     if value < 0:
         raise argparse.ArgumentTypeError(f"seed must be >= 0, got {value}")
     return value
+
+
+def _add_campaign_modes(p: argparse.ArgumentParser,
+                        common: argparse.ArgumentParser) -> None:
+    """Attach the distributed control-plane modes under ``campaign``.
+
+    ``campaign`` with no mode keeps its legacy in-process pool
+    behaviour; ``coordinate`` / ``work`` / ``merge`` / ``diff`` are the
+    distributed front end.
+    """
+    csub = p.add_subparsers(
+        dest="mode", metavar="MODE",
+        help="distributed control-plane modes (omit MODE for the "
+             "in-process pool)")
+
+    pc = csub.add_parser(
+        "coordinate", parents=[common],
+        help="serve a grid to worker processes under lease discipline "
+             "(spawns local workers, accepts external ones)")
+    pc.add_argument("--grid", default="table1",
+                    help="builtin grid name or TOML grid path "
+                         "(default table1)")
+    pc.add_argument("--seeds", default=None, metavar="S1,S2,...",
+                    help="comma-separated seed fan-out")
+    pc.add_argument("--faults", metavar="PLAN", default=None,
+                    help="arm a chaos plan on every cell "
+                         "(table1 grid only)")
+    pc.add_argument("--out", default="campaign.jsonl", metavar="FILE",
+                    help="authoritative JSONL result store "
+                         "(default campaign.jsonl)")
+    pc.add_argument("--spawn", type=int, default=3,
+                    help="local worker processes to fork "
+                         "(0 = external workers only; default 3)")
+    pc.add_argument("--bind", default="127.0.0.1", metavar="HOST",
+                    help="control-socket bind address (default 127.0.0.1)")
+    pc.add_argument("--port", type=int, default=0,
+                    help="control-socket port (default 0 = pick a free one)")
+    pc.add_argument("--heartbeat", type=float, default=0.5,
+                    metavar="SECONDS",
+                    help="worker heartbeat cadence; a worker silent for "
+                         "3x this is declared dead (default 0.5)")
+    pc.add_argument("--steal-after", type=float, default=None,
+                    metavar="SECONDS",
+                    help="age before a sole in-flight lease may be "
+                         "duplicated onto an idle worker "
+                         "(default 4x --heartbeat)")
+    pc.add_argument("--timeout", type=float, default=None,
+                    metavar="SECONDS",
+                    help="per-cell lease budget (default: unbounded)")
+    pc.add_argument("--retries", type=int, default=1,
+                    help="extra attempts before quarantining a cell "
+                         "(default 1)")
+    pc.add_argument("--resume", action="store_true",
+                    help="skip cells already completed in --out")
+    pc.add_argument("--shard-dir", metavar="DIR", default=None,
+                    help="give each spawned worker a per-worker JSONL "
+                         "shard in DIR (merge with 'campaign merge')")
+    pc.add_argument("--kill-workers", type=int, default=0, metavar="N",
+                    help="fault hook: SIGKILL N spawned workers mid-cell "
+                         "and respawn replacements (default 0)")
+    pc.add_argument("--kill-interval", type=float, default=1.0,
+                    metavar="SECONDS",
+                    help="spacing between --kill-workers kills (default 1)")
+    pc.add_argument("--wall-limit", type=float, default=None,
+                    metavar="SECONDS",
+                    help="quarantine whatever is unfinished after this "
+                         "long (default: unbounded)")
+    pc.add_argument("--summary-out", metavar="FILE", default=None,
+                    help="write the JSON control-plane summary "
+                         "(leases granted/expired/reclaimed/stolen, "
+                         "worker failures, chaos kills)")
+    pc.add_argument("--quiet", action="store_true",
+                    help="suppress per-cell progress lines")
+
+    pw = csub.add_parser(
+        "work", parents=[common],
+        help="run cells for a coordinator at HOST:PORT until it "
+             "shuts the campaign down")
+    pw.add_argument("address", metavar="HOST:PORT",
+                    help="coordinator control-socket address")
+    pw.add_argument("--id", default=None, metavar="NAME",
+                    help="worker id (default <hostname>-<pid>)")
+    pw.add_argument("--shard", metavar="FILE", default=None,
+                    help="also append every outcome to this per-worker "
+                         "JSONL shard")
+    pw.add_argument("--max-cells", type=int, default=None, metavar="N",
+                    help="stop after completing N cells (default: serve "
+                         "until shutdown)")
+
+    pm = csub.add_parser(
+        "merge", parents=[common],
+        help="fold per-worker JSONL shards into one resumable store "
+             "(ok beats failed per key, last record wins otherwise)")
+    pm.add_argument("shards", nargs="+", metavar="SHARD",
+                    help="per-worker shard files to merge")
+    pm.add_argument("--out", required=True, metavar="FILE",
+                    help="merged store to write (must not be a SHARD)")
+
+    pd = csub.add_parser(
+        "diff", parents=[common],
+        help="compare the successful per-key payloads of two stores "
+             "(exit 1 on any mismatch)")
+    pd.add_argument("left", metavar="STORE")
+    pd.add_argument("right", metavar="STORE")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -404,6 +617,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="arm a chaos plan on every cell (table1 grid only)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-cell progress lines")
+    _add_campaign_modes(p, common)
 
     p = sub.add_parser(
         "chaos", parents=[common],

@@ -134,6 +134,23 @@ class TestFailureHandling:
         failed = store.load()[grid.cells[0].key]
         assert "wall-clock budget" in failed.meta["error"]
 
+    def test_timeout_leaves_no_zombie_or_leaked_pipe(self, tmp_path):
+        # Regression for the _reap timeout path: the timed-out child
+        # must be terminated AND joined (no zombie to wait on later)
+        # and its pipe closed (no fd leak across a long campaign).
+        import multiprocessing
+
+        grid = CampaignGrid(
+            name="slow",
+            cells=(CampaignCell(kind="sleep", seed=1,
+                                params={"duration_s": 30.0}),))
+        report = CampaignRunner(grid, ResultStore(tmp_path / "s.jsonl"),
+                                workers=1, timeout_s=0.3, retries=0).run()
+        assert report.failed == 1
+        # active_children() reaps zombies as a side effect; after a
+        # correct shutdown there is nothing left to reap or join.
+        assert multiprocessing.active_children() == []
+
     def test_retries_counted(self, tmp_path):
         grid = CampaignGrid(
             name="slow",

@@ -184,6 +184,104 @@ class TestCampaignCommand:
         assert "no such store" in capsys.readouterr().err
 
 
+class TestCampaignControlPlane:
+    """The distributed modes: coordinate / work / merge / diff."""
+
+    def _toml_grid(self, tmp_path, n=4):
+        path = tmp_path / "grid.toml"
+        path.write_text(
+            'name = "naps"\n'
+            '[[cell]]\n'
+            'kind = "sleep"\n'
+            f'seeds = {list(range(1, n + 1))}\n'
+            'group = "naps"\n'
+            'params = { duration_s = 0.05 }\n')
+        return path
+
+    def test_coordinate_parser_defaults(self):
+        args = build_parser().parse_args(["campaign", "coordinate"])
+        assert args.mode == "coordinate"
+        assert args.spawn == 3 and args.port == 0
+        assert args.heartbeat == 0.5 and args.kill_workers == 0
+        assert args.steal_after is None
+
+    def test_legacy_campaign_mode_still_parses(self):
+        args = build_parser().parse_args(["campaign", "--workers", "0"])
+        assert args.mode is None and args.workers == 0
+
+    def test_work_requires_address(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "work"])
+
+    def test_work_rejects_bad_address(self, capsys):
+        assert main(["campaign", "work", "nonsense"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_merge_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "merge", "a.jsonl"])
+
+    def test_coordinate_merge_diff_roundtrip(self, tmp_path, capsys):
+        grid = self._toml_grid(tmp_path)
+        dist = tmp_path / "dist.jsonl"
+        seq = tmp_path / "seq.jsonl"
+        summary = tmp_path / "summary.json"
+        assert main(["campaign", "coordinate", "--grid", str(grid),
+                     "--out", str(dist), "--spawn", "2",
+                     "--heartbeat", "0.2",
+                     "--shard-dir", str(tmp_path / "shards"),
+                     "--summary-out", str(summary), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "4 ran" in out and "wrote control-plane summary" in out
+        assert main(["campaign", "--grid", str(grid), "--workers", "0",
+                     "--out", str(seq), "--quiet"]) == 0
+        capsys.readouterr()
+
+        import json
+        doc = json.loads(summary.read_text())
+        assert doc["completed"] == 4 and doc["quarantined"] == []
+
+        shards = sorted(str(p)
+                        for p in (tmp_path / "shards").glob("*.jsonl"))
+        assert len(shards) == 2
+        merged = tmp_path / "merged.jsonl"
+        assert main(["campaign", "merge", *shards,
+                     "--out", str(merged)]) == 0
+        assert "merged 2 shard(s)" in capsys.readouterr().out
+
+        assert main(["campaign", "diff", str(dist), str(seq)]) == 0
+        assert main(["campaign", "diff", str(merged), str(seq)]) == 0
+        out = capsys.readouterr().out
+        assert "result-equivalent" in out
+
+    def test_diff_detects_divergence(self, tmp_path, capsys):
+        from repro.campaign import CellRecord, ResultStore
+
+        spec = {"kind": "sleep", "seed": 1, "params": {}, "faults": None,
+                "group": "g"}
+        ResultStore(tmp_path / "a.jsonl").append(CellRecord(
+            key="k0", spec=spec, status="ok",
+            result={"value": 1}, meta={}))
+        ResultStore(tmp_path / "b.jsonl").append(CellRecord(
+            key="k0", spec=spec, status="ok",
+            result={"value": 2}, meta={}))
+        assert main(["campaign", "diff", str(tmp_path / "a.jsonl"),
+                     str(tmp_path / "b.jsonl")]) == 1
+        assert "payloads differ" in capsys.readouterr().out
+
+    def test_merge_refuses_self_merge(self, tmp_path, capsys):
+        from repro.campaign import CellRecord, ResultStore
+
+        shard = tmp_path / "shard.jsonl"
+        ResultStore(shard).append(CellRecord(
+            key="k0", spec={"kind": "sleep", "seed": 1, "params": {},
+                            "faults": None, "group": "g"},
+            status="ok", result={}, meta={}))
+        assert main(["campaign", "merge", str(shard),
+                     "--out", str(shard)]) == 2
+        assert "itself" in capsys.readouterr().err
+
+
 class TestChaosCommand:
     def test_list_plans(self, capsys):
         assert main(["chaos", "--list-plans"]) == 0
