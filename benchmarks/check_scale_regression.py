@@ -20,6 +20,14 @@ A shared helper for the two simulator-throughput benchmarks:
   logged reason (a GIL-bound single core cannot express cross-LP
   parallelism).
 
+- ``--kind gateway`` compares ``BENCH_gateway.json`` (from
+  ``benchmarks/test_gateway.py`` or ``repro loadgen``) against
+  ``benchmarks/BENCH_gateway_baseline.json``: the live scheduler-RPC p99
+  must stay under the absolute ``budget.p99_ms``, the replay must cover
+  ``min_clients`` clients, and the correctness gates must be clean (zero
+  lost/duplicated results, benchmark job done, reclaimed payload
+  byte-equivalent to the simulated LocalRunner oracle).
+
 Absolute events/sec varies across machines; regenerate a baseline on the
 reference runner with e.g. ``python benchmarks/test_parallel.py && cp
 BENCH_parallel.json benchmarks/BENCH_parallel_baseline.json`` when an
@@ -44,6 +52,8 @@ DEFAULTS = {
               os.path.join(_HERE, "BENCH_scale_baseline.json")),
     "parallel": ("BENCH_parallel.json",
                  os.path.join(_HERE, "BENCH_parallel_baseline.json")),
+    "gateway": ("BENCH_gateway.json",
+                os.path.join(_HERE, "BENCH_gateway_baseline.json")),
 }
 
 
@@ -127,8 +137,44 @@ def check_parallel(result: dict, baseline: dict,
     return failures
 
 
+def check_gateway(result: dict, baseline: dict,
+                  tolerance: float) -> list[str]:
+    """Gateway-kind findings: p99 budget + the zero-loss/oracle gates.
+
+    Unlike the throughput kinds, the latency gate is an absolute budget
+    (``baseline["budget"]["p99_ms"]``) rather than a relative tolerance:
+    a live server that answers its scheduler RPC slower than the budget
+    is a regression regardless of what the last run measured.
+    """
+    failures = []
+    budget = baseline.get("budget", {}).get("p99_ms")
+    if budget is None:
+        return ["baseline has no budget.p99_ms entry"]
+    p99 = result.get("latency_ms", {}).get("p99")
+    if p99 is None:
+        failures.append("result has no latency_ms.p99 measurement")
+    elif p99 > budget:
+        failures.append(f"scheduler-RPC p99 {p99:.2f}ms exceeds the "
+                        f"{budget:.2f}ms budget")
+    min_clients = baseline.get("min_clients", 0)
+    if result.get("n_clients", 0) < min_clients:
+        failures.append(f"replayed {result.get('n_clients', 0)} clients; "
+                        f"the gate requires >= {min_clients}")
+    if result.get("job_state") != "done":
+        failures.append(f"benchmark job ended {result.get('job_state')!r}, "
+                        "not 'done'")
+    for gate in ("errors", "lost_results", "duplicated_results"):
+        if result.get(gate, 1) != 0:
+            failures.append(f"{gate} = {result.get(gate)} (must be 0)")
+    if not result.get("equivalent", False):
+        failures.append("reclaimed payload is not byte-equivalent to the "
+                        "simulated LocalRunner oracle")
+    return failures
+
+
 #: Kind -> checker function.
-CHECKERS = {"scale": check, "parallel": check_parallel}
+CHECKERS = {"scale": check, "parallel": check_parallel,
+            "gateway": check_gateway}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -153,8 +199,16 @@ def main(argv: list[str] | None = None) -> int:
         for line in failures:
             print(f"  - {line}")
         return 1
-    print(f"{args.kind} benchmark within {args.tolerance:.0%} of baseline "
-          f"at sizes {sorted(set(_index(result)) & set(_index(baseline)))}")
+    if args.kind == "gateway":
+        print(f"gateway load gates clean: p99 "
+              f"{result['latency_ms']['p99']:.2f}ms within the "
+              f"{baseline['budget']['p99_ms']:.0f}ms budget, "
+              f"{result['n_clients']} clients, zero lost/duplicated "
+              f"results, oracle-equivalent output")
+    else:
+        print(f"{args.kind} benchmark within {args.tolerance:.0%} of "
+              f"baseline at sizes "
+              f"{sorted(set(_index(result)) & set(_index(baseline)))}")
     return 0
 
 

@@ -51,6 +51,8 @@ TARGETS = [
      "LP-partitioned parallel engine with conservative windows."),
     ("repro.analysis", "Trace analysis, statistics, tables, exports."),
     ("repro.runtime", "Real MapReduce runtime used for calibration."),
+    ("repro.gateway",
+     "Live asyncio volunteer gateway, client, and load harness."),
 ]
 
 ROLE_RE = re.compile(
@@ -288,6 +290,27 @@ def build_pages() -> tuple[dict[str, str], RefIndex]:
     return pages, index
 
 
+def _first_diff(on_disk: str, fresh: str) -> str:
+    """Locate where a committed page diverges from the fresh render.
+
+    Returns a human-oriented one-liner — line number, the committed
+    line, and what the generator now produces — so a ``--check`` failure
+    says exactly *where* the page went stale instead of just which file.
+    """
+    old_lines = on_disk.splitlines()
+    new_lines = fresh.splitlines()
+    for i, (old, new) in enumerate(zip(old_lines, new_lines), start=1):
+        if old != new:
+            return (f"first diff at line {i}: committed "
+                    f"{old[:60]!r} vs fresh {new[:60]!r}")
+    if len(old_lines) != len(new_lines):
+        longer = "committed" if len(old_lines) > len(new_lines) else "fresh"
+        return (f"first diff at line {min(len(old_lines), len(new_lines)) + 1}: "
+                f"the {longer} version has "
+                f"{abs(len(old_lines) - len(new_lines))} extra line(s)")
+    return "contents differ only in trailing whitespace"
+
+
 def main(argv: list[str] | None = None) -> int:
     """Generate (or with ``--check`` verify) the API reference."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -308,7 +331,8 @@ def main(argv: list[str] | None = None) -> int:
             if not path.exists():
                 stale.append(f"missing: docs/api/{fname}")
             elif path.read_text(encoding="utf-8") != content:
-                stale.append(f"stale: docs/api/{fname}")
+                stale.append(f"stale: docs/api/{fname} "
+                             f"({_first_diff(path.read_text(encoding='utf-8'), content)})")
         for fname in sorted(p.name for p in API_DIR.glob("*.md")):
             if fname not in pages:
                 stale.append(f"orphaned: docs/api/{fname}")

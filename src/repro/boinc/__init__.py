@@ -2,7 +2,8 @@
 
 Public surface:
 
-- server side: :class:`ProjectServer`, :class:`ServerConfig`,
+- server side: :class:`SchedulerCore` (the transport-agnostic
+  scheduler/daemon state machine), :class:`ProjectServer`, :class:`ServerConfig`,
   :class:`Database`, :class:`DataServer`, plus the workunit/result model;
 - client side: :class:`Client`, :class:`ClientConfig`, strategy protocols
   (:class:`InputFetcher`, :class:`OutputPolicy`, :class:`Executor`) and
@@ -38,6 +39,7 @@ from .server import (
     Assignment,
     ProjectServer,
     ReportedResult,
+    SchedulerCore,
     SchedulerReply,
     SchedulerRequest,
     ServerConfig,
@@ -45,6 +47,7 @@ from .server import (
 
 __all__ = [
     "ProjectServer",
+    "SchedulerCore",
     "ServerConfig",
     "SchedulerRequest",
     "SchedulerReply",

@@ -42,31 +42,25 @@ class ChecksumMismatch(RuntimeError):
     """A downloaded file failed checksum validation (corrupt transfer)."""
 
 
-class DataServer:
-    """File catalogue + transfer endpoints on a server host."""
+class FileCatalogue:
+    """Named-file catalogue + availability knob, shared by every transport.
 
-    def __init__(self, sim: Simulator, net: Network, host: Host,
-                 tracer: Tracer | None = None) -> None:
-        """An empty file store served from *host* over *net*."""
-        self.sim = sim
-        self.net = net
-        self.host = host
-        self.tracer = tracer
+    The transport-agnostic half of a data server: which files exist, the
+    served/received byte accounting, and the 503-style availability flag.
+    :class:`DataServer` adds simulated flow transfers on top;
+    :class:`repro.gateway.files.BlobStore` adds real bytes served over
+    live HTTP.  Both therefore refuse, account, and catalogue identically.
+    """
+
+    def __init__(self) -> None:
+        """An empty catalogue, available, with zeroed accounting."""
         self.files: dict[str, FileRef] = {}
         self.bytes_served = 0.0
         self.bytes_received = 0.0
         #: Fault injection: False makes every request a 503-style refusal.
         self.available = True
-        #: Fault injection: < 1 caps each transfer to this fraction of the
-        #: server access-link capacity (overload / throttling).
-        self.slow_factor = 1.0
-        #: Fault injection: probability a served download arrives corrupt
-        #: (``corrupt_rng`` draws the dice; rate 1 needs no rng).
-        self.corrupt_rate = 0.0
-        self.corrupt_rng: np.random.Generator | None = None
         #: Diagnostics.
         self.refusals = 0
-        self.corrupt_serves = 0
 
     # -- catalogue ------------------------------------------------------------
     def publish(self, ref: FileRef) -> None:
@@ -80,6 +74,27 @@ class DataServer:
     def unpublish(self, name: str) -> None:
         """Remove *name* from the store (idempotent)."""
         self.files.pop(name, None)
+
+
+class DataServer(FileCatalogue):
+    """File catalogue + simulated transfer endpoints on a server host."""
+
+    def __init__(self, sim: Simulator, net: Network, host: Host,
+                 tracer: Tracer | None = None) -> None:
+        """An empty file store served from *host* over *net*."""
+        super().__init__()
+        self.sim = sim
+        self.net = net
+        self.host = host
+        self.tracer = tracer
+        #: Fault injection: < 1 caps each transfer to this fraction of the
+        #: server access-link capacity (overload / throttling).
+        self.slow_factor = 1.0
+        #: Fault injection: probability a served download arrives corrupt
+        #: (``corrupt_rng`` draws the dice; rate 1 needs no rng).
+        self.corrupt_rate = 0.0
+        self.corrupt_rng: np.random.Generator | None = None
+        self.corrupt_serves = 0
 
     # -- fault hooks ----------------------------------------------------------
     def _refuse(self, op: str, name: str, peer: Host) -> None:

@@ -387,6 +387,73 @@ def _cmd_wordcount(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import time as _time
+
+    from .gateway import GatewayConfig, GatewayServer
+
+    async def _serve() -> None:
+        server = GatewayServer(GatewayConfig(
+            host=args.host, port=args.port,
+            daemon_period_s=args.daemon_period,
+            delay_bound_s=args.delay_bound))
+        await server.start()
+        print(f"gateway serving on {server.address} "
+              f"(protocol docs/protocol.md; ctrl-c to stop)", flush=True)
+        try:
+            if args.duration > 0:
+                await asyncio.sleep(args.duration)
+            else:
+                while True:
+                    await asyncio.sleep(3600)
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("gateway stopped")
+    return 0
+
+
+def _cmd_volunteer(args: argparse.Namespace) -> int:
+    import os
+
+    from .gateway import run_volunteer
+
+    name = args.name or f"vol-{os.getpid()}"
+    stats = run_volunteer(args.address, name=name, flops=args.flops,
+                          poll_s=args.poll, idle_limit=args.idle_limit)
+    print(f"{name}: {stats.tasks_done} tasks done, "
+          f"{stats.tasks_failed} failed, {stats.rpcs} scheduler RPCs")
+    return 0 if stats.tasks_failed == 0 else 1
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .gateway import LoadConfig, run_loadgen, write_report
+
+    config = LoadConfig(
+        n_clients=args.clients, duration_s=args.duration, seed=args.seed,
+        corpus_bytes=args.corpus_kb * 1024, n_maps=args.maps,
+        n_reducers=args.reducers, replication=args.replication,
+        quorum=args.quorum)
+    report = run_loadgen(address=args.address, config=config, echo=print)
+    write_report(report, args.out)
+    lat = report.latency_ms
+    print(f"{report.rpcs} scheduler RPCs from {report.n_clients} clients "
+          f"in {report.wall_s:.1f}s — "
+          f"p50 {lat['p50']:.2f}ms  p90 {lat['p90']:.2f}ms  "
+          f"p99 {lat['p99']:.2f}ms  max {lat['max']:.2f}ms")
+    print(f"job {report.job_state}; lost={report.lost_results} "
+          f"duplicated={report.duplicated_results} "
+          f"equivalent={report.equivalent} -> {args.out}")
+    if args.strict and not report.clean:
+        print("loadgen: correctness gates FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _seed_type(text: str) -> int:
     """Validate a ``--seed`` value: a non-negative integer."""
     try:
@@ -620,6 +687,58 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign_modes(p, common)
 
     p = sub.add_parser(
+        "serve", parents=[common],
+        help="run the live asyncio gateway (real volunteers dial in over "
+             "HTTP; see docs/protocol.md)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8523,
+                   help="listen port (0 = OS-assigned; default 8523)")
+    p.add_argument("--daemon-period", type=float, default=0.02,
+                   metavar="SECONDS",
+                   help="wall-clock cadence of the feeder/transitioner/"
+                        "validator/assimilator pipeline tick (default 0.02)")
+    p.add_argument("--delay-bound", type=float, default=10.0,
+                   metavar="SECONDS",
+                   help="result lease deadline; expired leases are "
+                        "reissued by the transitioner (default 10)")
+    p.add_argument("--duration", type=float, default=0.0, metavar="SECONDS",
+                   help="serve for this long then exit (0 = forever)")
+
+    p = sub.add_parser(
+        "volunteer", parents=[common],
+        help="run one real volunteer process against a live gateway")
+    p.add_argument("--address", required=True, metavar="HOST:PORT")
+    p.add_argument("--name", default=None,
+                   help="host name to register as (default vol-<pid>)")
+    p.add_argument("--flops", type=float, default=1e9)
+    p.add_argument("--idle-limit", type=int, default=100,
+                   help="consecutive no-work polls before exiting")
+    p.add_argument("--poll", type=float, default=0.02, metavar="SECONDS",
+                   help="minimum poll period when the server sets no delay")
+
+    p = sub.add_parser(
+        "loadgen", parents=[common],
+        help="replay simulated client schedules against a live gateway "
+             "and emit BENCH_gateway.json with the p99 latency report")
+    p.add_argument("--address", default=None, metavar="HOST:PORT",
+                   help="gateway to load (default: self-host one in-process)")
+    p.add_argument("--clients", type=int, default=500)
+    p.add_argument("--duration", type=float, default=8.0, metavar="SECONDS",
+                   help="wall-clock replay window for the compressed "
+                        "availability schedules (default 8)")
+    p.add_argument("--maps", type=int, default=12)
+    p.add_argument("--reducers", type=int, default=6)
+    p.add_argument("--replication", type=int, default=2)
+    p.add_argument("--quorum", type=int, default=2)
+    p.add_argument("--corpus-kb", type=int, default=200,
+                   help="benchmark job corpus size in KiB (default 200)")
+    p.add_argument("--out", default="BENCH_gateway.json", metavar="FILE")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero unless the correctness gates hold "
+                        "(zero lost/duplicated results, oracle-equivalent "
+                        "output, job done)")
+
+    p = sub.add_parser(
         "chaos", parents=[common],
         help="run a MapReduce job under a chaos plan, then audit the "
              "end state with RunAuditor")
@@ -652,6 +771,9 @@ _COMMANDS: dict[str, _t.Callable[[argparse.Namespace], int]] = {
     "metrics": _cmd_metrics,
     "wordcount": _cmd_wordcount,
     "chaos": _cmd_chaos,
+    "serve": _cmd_serve,
+    "volunteer": _cmd_volunteer,
+    "loadgen": _cmd_loadgen,
 }
 
 

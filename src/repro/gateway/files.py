@@ -1,0 +1,69 @@
+"""Real-bytes file store behind the gateway's data endpoints.
+
+The live counterpart of :class:`repro.boinc.dataserver.DataServer`: both
+subclass :class:`repro.boinc.dataserver.FileCatalogue`, so publish /
+refusal / accounting semantics are shared, but where the simulated store
+moves :class:`~repro.boinc.model.FileRef` *sizes* through the flow
+network, this one holds the actual payload bytes served over live HTTP.
+
+Every blob carries a CRC32 checksum in the wire format of
+:func:`repro.gateway.protocol.checksum` (``crc32:<8 hex digits>``); the
+gateway sends it in the ``X-Checksum`` response header on downloads and
+verifies it on uploads, mirroring the checksum-validated transfers of the
+simulated client (:func:`repro.boinc.client.download_with_retry`).
+"""
+
+from __future__ import annotations
+
+from ..boinc.dataserver import FileCatalogue, FileMissing, ServerUnavailable
+from ..boinc.model import FileRef
+from .protocol import checksum
+
+
+class BlobStore(FileCatalogue):
+    """In-memory named-blob store with checksums (the live data server)."""
+
+    def __init__(self) -> None:
+        """An empty, available blob store."""
+        super().__init__()
+        self._blobs: dict[str, bytes] = {}
+        self.checksums: dict[str, str] = {}
+
+    # -- ingest ---------------------------------------------------------------
+    def put(self, name: str, data: bytes) -> FileRef:
+        """Store *data* under *name* (idempotent; re-put overwrites).
+
+        Replicated tasks produce byte-identical outputs under the same
+        name, so a second replica's upload is a no-op rewrite.
+        """
+        ref = FileRef(name=name, size=float(len(data)))
+        self._blobs[name] = data
+        self.checksums[name] = checksum(data)
+        self.publish(ref)
+        self.bytes_received += len(data)
+        return ref
+
+    # -- serve ----------------------------------------------------------------
+    def fetch(self, name: str) -> bytes:
+        """Serve the bytes of *name*.
+
+        Raises :class:`~repro.boinc.dataserver.ServerUnavailable` when the
+        store is refusing (503 on the wire) and
+        :class:`~repro.boinc.dataserver.FileMissing` when unpublished (404).
+        """
+        if not self.available:
+            self.refusals += 1
+            raise ServerUnavailable(f"blob store refused download of {name!r}")
+        if name not in self.files:
+            raise FileMissing(name)
+        data = self._blobs[name]
+        self.bytes_served += len(data)
+        return data
+
+    def checksum_of(self, name: str) -> str:
+        """The stored wire checksum of blob *name* (KeyError when absent)."""
+        return self.checksums[name]
+
+    def __len__(self) -> int:
+        """Number of stored blobs."""
+        return len(self._blobs)

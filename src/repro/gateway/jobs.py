@@ -1,0 +1,235 @@
+"""Live MapReduce job orchestration on top of :class:`SchedulerCore`.
+
+The gateway-side analogue of the simulator's JobTracker: splits a real
+input corpus into chunk blobs, submits map workunits through the shared
+BOINC state machine, and rides the assimilator hook — when the last map
+workunit assimilates, the reduce workunits are created over the uploaded
+partition blobs; when the last reduce assimilates, the per-partition
+outputs are merged into one reclaimable payload.
+
+Determinism carries the replication story: :class:`~repro.runtime.engine.
+LocalRunner` tasks are bit-reproducible, so replicas of the same task
+upload byte-identical blobs under the same name (an idempotent re-put in
+:class:`~repro.gateway.files.BlobStore`) and report equal digests, which
+is exactly what the shared validator's digest comparison needs.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import typing as _t
+
+from ..boinc.model import FileRef, Result, Workunit
+from ..boinc.server import SchedulerCore
+from ..runtime.api import MapReduceApp
+from ..runtime.apps import InvertedIndex, MatchCount, WordCount
+from ..runtime.splitter import split_text
+from ..workloads import generate_corpus
+from .files import BlobStore
+from .protocol import checksum
+
+#: Apps submittable by name over the wire (``JobRequest.app``).  Only
+#: zero-config apps are listed; parameterised apps (grep patterns, sort
+#: boundaries) need in-process submission with an app instance.
+APP_REGISTRY: dict[str, _t.Callable[[], MapReduceApp]] = {
+    "wordcount": WordCount,
+    "invindex": InvertedIndex,
+    "matchcount": lambda: MatchCount(rb"the"),
+}
+
+
+def resolve_app(name: str) -> MapReduceApp:
+    """Instantiate a registered app by wire name (KeyError when unknown)."""
+    return APP_REGISTRY[name]()
+
+
+def chunk_blob_name(job: str, map_index: int) -> str:
+    """Blob name of one map input chunk."""
+    return f"{job}.m{map_index}.in"
+
+
+def partition_blob_name(job: str, map_index: int, reduce_index: int) -> str:
+    """Blob name of one map-output partition (map i, reducer r)."""
+    return f"{job}.m{map_index}.p{reduce_index}"
+
+
+def reduce_blob_name(job: str, reduce_index: int) -> str:
+    """Blob name of one reducer's output."""
+    return f"{job}.out{reduce_index}"
+
+
+def canonical_payload(output: dict) -> bytes:
+    """Deterministic byte encoding of a merged job output dict.
+
+    Keys are sorted by ``repr`` (the engine's stable ordering), so the
+    same logical output always pickles to the same bytes — this is what
+    the byte-equivalence gate in the load harness compares.
+    """
+    return pickle.dumps(sorted(output.items(), key=lambda kv: repr(kv[0])))
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Inverse of :func:`canonical_payload`."""
+    return dict(pickle.loads(payload))
+
+
+class GatewayJob:
+    """Book-keeping for one live MapReduce job."""
+
+    def __init__(self, name: str, app_name: str, n_maps: int,
+                 n_reducers: int, replication: int, quorum: int) -> None:
+        """A freshly submitted job with no completed stages."""
+        self.name = name
+        self.app_name = app_name
+        self.n_maps = n_maps
+        self.n_reducers = n_reducers
+        self.replication = replication
+        self.quorum = quorum
+        self.state = "running"
+        self.maps_done = 0
+        self.reduces_done = 0
+        #: Total workunits assimilated for this job (duplicate-assimilation
+        #: detector: must end at ``n_maps + n_reducers`` exactly).
+        self.assimilated = 0
+        self.error: str | None = None
+        self.output_payload: bytes | None = None
+        #: Set when the job reaches a terminal state (done or error).
+        #: A ``threading.Event`` so non-asyncio threads (doctests, the
+        #: blocking client helpers) can wait on it.
+        self.finished = threading.Event()
+
+    def status(self) -> dict:
+        """The wire ``JobStatus`` payload for this job."""
+        return {
+            "name": self.name,
+            "state": self.state,
+            "maps_done": self.maps_done,
+            "reduces_done": self.reduces_done,
+            "n_maps": self.n_maps,
+            "n_reducers": self.n_reducers,
+            "assimilated": self.assimilated,
+            "output_checksum": (None if self.output_payload is None
+                                else checksum(self.output_payload)),
+        }
+
+
+class GatewayJobTracker:
+    """Drives live jobs through the shared scheduler core's hooks."""
+
+    def __init__(self, core: SchedulerCore, store: BlobStore) -> None:
+        """Attach to *core*'s assimilate/error hooks and *store*."""
+        self.core = core
+        self.store = store
+        self.jobs: dict[str, GatewayJob] = {}
+        core.assimilate_handler = self._assimilate
+        core.on_wu_error = self._wu_error
+
+    # -- submission ------------------------------------------------------------
+    def submit(self, name: str, app_name: str, data: bytes, n_maps: int,
+               n_reducers: int, replication: int = 1,
+               quorum: int = 1) -> GatewayJob:
+        """Split *data*, publish chunk blobs, submit the map workunits."""
+        if name in self.jobs:
+            raise ValueError(f"job {name!r} already submitted")
+        resolve_app(app_name)  # fail fast on unknown apps
+        job = GatewayJob(name, app_name, n_maps, n_reducers,
+                         replication, quorum)
+        self.jobs[name] = job
+        chunks = split_text(data, n_maps)
+        for i, chunk in enumerate(chunks):
+            ref = self.store.put(chunk_blob_name(name, i), chunk)
+            self.core.submit_workunit(Workunit(
+                id=self.core.db.new_wu_id(), app_name=app_name,
+                input_files=(ref,), flops=float(max(len(chunk), 1)),
+                target_nresults=replication, min_quorum=quorum,
+                mr_job=name, mr_kind="map", mr_index=i),
+                publish_inputs=False)
+        return job
+
+    def submit_spec(self, spec: dict) -> GatewayJob:
+        """Submit from a validated wire ``JobRequest`` payload.
+
+        The corpus is generated server-side from ``(size, seed)`` — the
+        same :func:`repro.workloads.generate_corpus` call the load
+        harness uses for its oracle, so both sides agree on the bytes
+        without shipping them.
+        """
+        data = generate_corpus(spec["corpus"]["size"],
+                               seed=spec["corpus"]["seed"])
+        return self.submit(spec["name"], spec["app"], data,
+                           n_maps=spec["n_maps"],
+                           n_reducers=spec["n_reducers"],
+                           replication=spec.get("replication", 1),
+                           quorum=spec.get("quorum", 1))
+
+    # -- task metadata for the wire -------------------------------------------
+    def task_params(self, wu: Workunit) -> dict:
+        """Per-assignment MR parameters serialised into a wire ``Task``."""
+        job = self.jobs.get(wu.mr_job) if wu.mr_job is not None else None
+        return {
+            "job": wu.mr_job,
+            "kind": wu.mr_kind,
+            "index": wu.mr_index,
+            "n_maps": None if job is None else job.n_maps,
+            "n_reducers": None if job is None else job.n_reducers,
+        }
+
+    # -- scheduler-core hooks --------------------------------------------------
+    def _assimilate(self, wu: Workunit, canonical: Result) -> None:
+        """BOINC assimilator contract: consume one validated workunit."""
+        job = self.jobs.get(wu.mr_job or "")
+        if job is None:
+            return
+        job.assimilated += 1
+        if wu.mr_kind == "map":
+            job.maps_done += 1
+            if job.maps_done == job.n_maps:
+                self._launch_reduces(job)
+        elif wu.mr_kind == "reduce":
+            job.reduces_done += 1
+            if job.reduces_done == job.n_reducers:
+                self._finish(job)
+
+    def _launch_reduces(self, job: GatewayJob) -> None:
+        """All maps assimilated: create one reduce workunit per partition."""
+        for r in range(job.n_reducers):
+            refs = []
+            for i in range(job.n_maps):
+                pname = partition_blob_name(job.name, i, r)
+                if not self.store.has(pname):
+                    job.state = "error"
+                    job.error = f"missing partition blob {pname!r}"
+                    job.finished.set()
+                    return
+                refs.append(self.store.files[pname])
+            self.core.submit_workunit(Workunit(
+                id=self.core.db.new_wu_id(), app_name=job.app_name,
+                input_files=tuple(refs),
+                flops=float(max(sum(int(f.size) for f in refs), 1)),
+                target_nresults=job.replication, min_quorum=job.quorum,
+                mr_job=job.name, mr_kind="reduce", mr_index=r),
+                publish_inputs=False)
+
+    def _finish(self, job: GatewayJob) -> None:
+        """All reduces assimilated: merge partition outputs, seal the job."""
+        merged: dict = {}
+        for r in range(job.n_reducers):
+            blob = self.store.fetch(reduce_blob_name(job.name, r))
+            merged.update(pickle.loads(blob))
+        job.output_payload = canonical_payload(merged)
+        job.state = "done"
+        job.finished.set()
+
+    def _wu_error(self, wu: Workunit) -> None:
+        """A workunit was abandoned (too many errors): fail its job."""
+        job = self.jobs.get(wu.mr_job or "")
+        if job is None or job.state != "running":
+            return
+        job.state = "error"
+        job.error = f"workunit {wu.id} ({wu.mr_kind} {wu.mr_index}) failed"
+        job.finished.set()
+
+    def statuses(self) -> dict[str, str]:
+        """Job name -> state, for the ``/status`` page."""
+        return {name: job.state for name, job in self.jobs.items()}

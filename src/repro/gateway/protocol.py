@@ -1,0 +1,290 @@
+"""The gateway wire protocol: endpoints, JSON schemas, checksums, errors.
+
+Single source of truth for everything that crosses the live HTTP
+boundary.  ``docs/protocol.md`` documents exactly the tables below and
+``tests/test_docs.py`` validates every JSON example in that document
+against :data:`SCHEMAS` via :func:`validate`, so the spec cannot drift
+from the implementation.
+
+Design rules (all inherited from BOINC's pull architecture):
+
+- every request is client-initiated; the server never connects out;
+- JSON request/response bodies, ``application/json``, UTF-8;
+- file payloads are raw ``application/octet-stream`` with an
+  ``X-Checksum: crc32:<8 hex digits>`` header (see :func:`checksum`);
+- a refusing server answers 503 with a ``Retry-After`` header and the
+  client backs off exponentially with jitter, exactly like the simulated
+  client in :mod:`repro.boinc.client`;
+- error bodies follow the ``Error`` schema with a code from
+  :data:`ERROR_CODES`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing as _t
+import zlib
+
+#: Protocol version; served by ``GET /healthz`` so clients can refuse to
+#: talk to an incompatible gateway.
+PROTOCOL_VERSION = 1
+
+#: Name of the checksum header on data downloads and uploads.
+CHECKSUM_HEADER = "X-Checksum"
+
+
+def checksum(data: bytes) -> str:
+    """Wire checksum of *data*: ``crc32:<8 lowercase hex digits>``.
+
+    CRC32 matches the stable-hash idiom used across the runtime
+    (:func:`repro.runtime.api.default_partition`); it is an integrity
+    check against truncated/corrupt transfers, not an authenticator.
+    """
+    return f"crc32:{zlib.crc32(data) & 0xFFFFFFFF:08x}"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Endpoint:
+    """One route in the gateway's HTTP surface."""
+
+    method: str
+    path: str
+    request_schema: str | None
+    reply_schema: str | None
+    summary: str
+
+
+#: Every route the gateway serves.  ``{name}``-style segments are path
+#: parameters.  ``None`` schemas mean raw octet-stream payloads (data
+#: plane) or empty request bodies.
+ENDPOINTS: tuple[Endpoint, ...] = (
+    Endpoint("POST", "/rpc/register", "RegisterRequest", "RegisterReply",
+             "Register a volunteer host; idempotent per host name."),
+    Endpoint("POST", "/rpc/scheduler", "WorkRequest", "WorkReply",
+             "The scheduler RPC: piggybacked reports in, work out."),
+    Endpoint("GET", "/data/{name}", None, None,
+             "Download input blob bytes (X-Checksum header attached)."),
+    Endpoint("POST", "/upload/{result_id}/{name}", None, "UploadReply",
+             "Upload one output blob for a leased result; checksum "
+             "verified, idempotent re-upload allowed."),
+    Endpoint("POST", "/jobs", "JobRequest", "JobReply",
+             "Submit a MapReduce job; the server generates the corpus "
+             "from the spec so input bytes never cross the wire twice."),
+    Endpoint("GET", "/jobs/{name}", None, "JobStatus",
+             "Poll job progress and state."),
+    Endpoint("GET", "/jobs/{name}/output", None, None,
+             "Reclaim the merged job output payload (octet-stream)."),
+    Endpoint("GET", "/status", None, "StatusReply",
+             "Server-status page: database counts and metric counters."),
+    Endpoint("GET", "/healthz", None, "HealthReply",
+             "Liveness probe; also reports the protocol version."),
+)
+
+#: Error code -> (HTTP status, meaning).  Every non-2xx reply carries an
+#: ``Error`` body whose ``error`` field is one of these codes.
+ERROR_CODES: dict[str, tuple[int, str]] = {
+    "bad_request": (400, "malformed body or missing/invalid fields"),
+    "unknown_host": (404, "host_id was never registered"),
+    "not_found": (404, "no such blob, job, or route"),
+    "method_not_allowed": (405, "route exists but not for this method"),
+    "unknown_result": (409, "upload names a result id the server never "
+                            "issued"),
+    "not_ready": (409, "job output reclaimed before the job finished"),
+    "checksum_mismatch": (422, "uploaded bytes do not match X-Checksum"),
+    "unavailable": (503, "server refusing; honour Retry-After, then back "
+                         "off exponentially with jitter"),
+}
+
+# -- schemas ------------------------------------------------------------------
+# A schema is {field: (kinds, required)} where kinds is a tuple drawn
+# from: "str", "int", "number", "bool", "null", "dict", "list[str]",
+# "list[<Schema>]", or a nested schema name.  Unknown fields are
+# rejected: the wire surface is closed by construction.
+
+_FieldSpec = tuple[tuple[str, ...], bool]
+
+SCHEMAS: dict[str, dict[str, _FieldSpec]] = {
+    "RegisterRequest": {
+        "name": (("str",), True),
+        "flops": (("number",), True),
+        "supports_mr": (("bool",), False),
+    },
+    "RegisterReply": {
+        "host_id": (("int",), True),
+        "request_delay_s": (("number",), True),
+    },
+    "FileStat": {
+        "name": (("str",), True),
+        "size": (("number",), True),
+    },
+    "Report": {
+        "result_id": (("int",), True),
+        "success": (("bool",), True),
+        "elapsed_s": (("number",), True),
+        "digest": (("str", "null"), False),
+        "output_files": (("list[FileStat]",), False),
+    },
+    "WorkRequest": {
+        "host_id": (("int",), True),
+        "work_req_s": (("number",), True),
+        "reports": (("list[Report]",), False),
+    },
+    "Task": {
+        "result_id": (("int",), True),
+        "wu_id": (("int",), True),
+        "app": (("str",), True),
+        "job": (("str", "null"), True),
+        "kind": (("str", "null"), True),
+        "index": (("int", "null"), True),
+        "n_maps": (("int", "null"), False),
+        "n_reducers": (("int", "null"), False),
+        "input_files": (("list[str]",), True),
+        "est_runtime_s": (("number",), True),
+        "deadline": (("number",), True),
+    },
+    "WorkReply": {
+        "assignments": (("list[Task]",), True),
+        "request_delay_s": (("number",), True),
+        "no_work": (("bool",), True),
+    },
+    "UploadReply": {
+        "received": (("bool",), True),
+        "result_id": (("int",), True),
+        "name": (("str",), True),
+        "size": (("int",), True),
+    },
+    "CorpusSpec": {
+        "size": (("int",), True),
+        "seed": (("int",), True),
+    },
+    "JobRequest": {
+        "name": (("str",), True),
+        "app": (("str",), True),
+        "n_maps": (("int",), True),
+        "n_reducers": (("int",), True),
+        "replication": (("int",), False),
+        "quorum": (("int",), False),
+        "corpus": (("CorpusSpec",), True),
+    },
+    "JobReply": {
+        "name": (("str",), True),
+        "n_maps": (("int",), True),
+        "n_reducers": (("int",), True),
+        "workunits": (("int",), True),
+    },
+    "JobStatus": {
+        "name": (("str",), True),
+        "state": (("str",), True),
+        "maps_done": (("int",), True),
+        "reduces_done": (("int",), True),
+        "n_maps": (("int",), True),
+        "n_reducers": (("int",), True),
+        "assimilated": (("int",), True),
+        "output_checksum": (("str", "null"), True),
+    },
+    "StatusReply": {
+        "now": (("number",), True),
+        "counts": (("dict",), True),
+        "counters": (("dict",), True),
+        "jobs": (("dict",), True),
+    },
+    "HealthReply": {
+        "ok": (("bool",), True),
+        "version": (("int",), True),
+    },
+    "Error": {
+        "error": (("str",), True),
+        "detail": (("str",), True),
+        "retry_after_s": (("number",), False),
+    },
+}
+
+#: Job lifecycle states as served in ``JobStatus.state``.
+JOB_STATES = ("running", "done", "error")
+
+
+def _kind_ok(value: _t.Any, kind: str, problems: list[str],
+             where: str) -> bool:
+    """True when *value* conforms to one primitive/list/nested *kind*."""
+    if kind == "null":
+        return value is None
+    if kind == "str":
+        return isinstance(value, str)
+    if kind == "bool":
+        return isinstance(value, bool)
+    if kind == "int":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if kind == "number":
+        return (isinstance(value, (int, float))
+                and not isinstance(value, bool))
+    if kind == "dict":
+        return isinstance(value, dict)
+    if kind.startswith("list[") and kind.endswith("]"):
+        if not isinstance(value, list):
+            return False
+        inner = kind[5:-1]
+        for i, item in enumerate(value):
+            if inner in SCHEMAS:
+                problems.extend(validate(inner, item,
+                                         _where=f"{where}[{i}]"))
+            elif not _kind_ok(item, inner, problems, f"{where}[{i}]"):
+                problems.append(f"{where}[{i}]: expected {inner}, "
+                                f"got {type(item).__name__}")
+        return True
+    if kind in SCHEMAS:
+        problems.extend(validate(kind, value, _where=where))
+        return True
+    raise ValueError(f"unknown schema kind {kind!r}")
+
+
+def validate(schema: str, payload: _t.Any, _where: str = "") -> list[str]:
+    """Check *payload* against SCHEMAS[*schema*]; return a problem list.
+
+    An empty list means the payload conforms.  Unknown fields, missing
+    required fields, and type mismatches are all reported with a path so
+    callers (and the docs tests) can print actionable failures.
+    """
+    spec = SCHEMAS[schema]
+    where = _where or schema
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"{where}: expected object, got {type(payload).__name__}"]
+    for field in payload:
+        if field not in spec:
+            problems.append(f"{where}.{field}: unknown field")
+    for field, (kinds, required) in spec.items():
+        if field not in payload:
+            if required:
+                problems.append(f"{where}.{field}: missing required field")
+            continue
+        value = payload[field]
+        sub: list[str] = []
+        if not any(_kind_ok(value, kind, sub, f"{where}.{field}")
+                   for kind in kinds):
+            problems.append(
+                f"{where}.{field}: expected {' | '.join(kinds)}, "
+                f"got {type(value).__name__}")
+        problems.extend(sub)
+    return problems
+
+
+def dumps(payload: _t.Any) -> bytes:
+    """Canonical JSON encoding for wire bodies (sorted keys, compact)."""
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def loads(data: bytes) -> _t.Any:
+    """Decode a JSON wire body (raises ``ValueError`` on malformed input)."""
+    return json.loads(data.decode("utf-8"))
+
+
+def error_body(code: str, detail: str,
+               retry_after_s: float | None = None) -> tuple[int, bytes]:
+    """Build an (http_status, body_bytes) pair for error *code*."""
+    status, _ = ERROR_CODES[code]
+    payload: dict[str, _t.Any] = {"error": code, "detail": detail}
+    if retry_after_s is not None:
+        payload["retry_after_s"] = retry_after_s
+    return status, dumps(payload)

@@ -1,0 +1,580 @@
+"""The live asyncio HTTP gateway: real volunteers against the shared core.
+
+A single-threaded :mod:`asyncio` server (stdlib only — the HTTP/1.1
+framing is hand-rolled on ``asyncio.start_server`` streams) exposing the
+pull protocol of :mod:`repro.gateway.protocol`:
+
+- control plane: ``/rpc/register`` and ``/rpc/scheduler`` delegate to the
+  *same* :class:`repro.boinc.server.SchedulerCore` state machine the
+  simulator drives, with a wall-clock ``clock`` injected instead of
+  ``sim.now``;
+- data plane: ``/data/{name}`` downloads and ``/upload/...`` uploads hit
+  a :class:`repro.gateway.files.BlobStore` with CRC32 checksum headers;
+- job plane: ``/jobs`` submission, status polling, and output reclaim
+  via :class:`repro.gateway.jobs.GatewayJobTracker`.
+
+Because the event loop is single-threaded and every handler is
+synchronous between awaits, core/state mutations need no locking — the
+same property the simulator gets from cooperative scheduling.  A daemon
+task ticks :meth:`SchedulerCore.run_daemon_passes` on a wall-clock
+cadence, standing in for the feeder/transitioner/validator/assimilator
+polling processes.
+
+Restart-with-state is first-class: pass a previous server's
+:class:`GatewayState` to a new :class:`GatewayServer` and in-flight
+leases survive the restart (clients keep their result ids; deadline
+timeouts keep counting on the same clock).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import threading
+import time
+import typing as _t
+
+from ..boinc.dataserver import FileMissing, ServerUnavailable
+from ..boinc.model import FileRef, OutputData
+from ..boinc.server import (
+    ReportedResult,
+    SchedulerCore,
+    SchedulerReply,
+    SchedulerRequest,
+    ServerConfig,
+)
+from ..obs.metrics import MetricsRegistry
+from . import protocol
+from .files import BlobStore
+from .jobs import (
+    APP_REGISTRY,
+    GatewayJob,
+    GatewayJobTracker,
+    decode_payload,
+)
+
+#: Latency buckets (seconds) for live RPC histograms: sub-millisecond to
+#: multi-second, matching what a loopback-to-WAN deployment can see.
+RPC_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+               0.1, 0.25, 0.5, 1.0, 2.5)
+
+_MAX_HEADER_LINE = 16 * 1024
+_MAX_BODY = 64 * 1024 * 1024
+
+
+@dataclasses.dataclass(slots=True)
+class GatewayConfig:
+    """Tunables for the live gateway front end."""
+
+    #: Bind address; port 0 lets the OS pick a free port.
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Wall-clock period of the daemon tick (one full
+    #: feeder/transitioner/validator/assimilator pipeline per tick).
+    daemon_period_s: float = 0.02
+    #: Next-contact hint handed to clients in every scheduler reply.
+    request_delay_s: float = 0.0
+    #: Lease deadline for live results (sent_at + delay_bound).
+    delay_bound_s: float = 30.0
+    #: Cap on results handed out per scheduler RPC.
+    max_results_per_rpc: int = 2
+    #: Feeder shared-memory slots visible to the scheduler.
+    feeder_cache_size: int = 256
+    #: ``Retry-After`` value (seconds) sent with 503 refusals.
+    retry_after_s: float = 0.5
+
+    def server_config(self) -> ServerConfig:
+        """The shared-core :class:`ServerConfig` this front end implies."""
+        return ServerConfig(
+            request_delay_s=self.request_delay_s,
+            delay_bound_s=self.delay_bound_s,
+            max_results_per_rpc=self.max_results_per_rpc,
+            feeder_cache_size=self.feeder_cache_size,
+        )
+
+
+class GatewayState:
+    """The transport-independent state a gateway serves (and can adopt).
+
+    Bundles the shared scheduler core, the blob store, and the job
+    tracker.  A restarted :class:`GatewayServer` constructed with the old
+    server's state picks up every in-flight lease: results stay
+    IN_PROGRESS, deadlines keep counting on the same monotonic clock, and
+    clients holding assignments can upload/report as if nothing happened.
+    """
+
+    def __init__(self, config: GatewayConfig | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
+        """Fresh core + store + tracker on a wall-clock monotonic clock."""
+        self.config = config or GatewayConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        t0 = time.monotonic()
+        self.core = SchedulerCore(config=self.config.server_config(),
+                                  metrics=self.metrics,
+                                  clock=lambda: time.monotonic() - t0)
+        self.store = BlobStore()
+        self.core.publish_input = self.store.publish
+        self.jobs = GatewayJobTracker(self.core, self.store)
+
+
+class GatewayServer:
+    """Asyncio HTTP front end over a :class:`GatewayState`."""
+
+    def __init__(self, config: GatewayConfig | None = None,
+                 state: GatewayState | None = None) -> None:
+        """A stopped server; call :meth:`start` inside a running loop."""
+        self.config = config or (state.config if state is not None
+                                 else GatewayConfig())
+        self.state = state if state is not None else GatewayState(self.config)
+        self.metrics = self.state.metrics
+        self.core = self.state.core
+        self.store = self.state.store
+        self.jobs = self.state.jobs
+        self.port: int | None = None
+        self.connections_active = 0
+        self._server: asyncio.base_events.Server | None = None
+        self._daemon_task: asyncio.Task | None = None
+
+    @property
+    def address(self) -> str:
+        """``host:port`` clients should dial (valid after :meth:`start`)."""
+        if self.port is None:
+            raise RuntimeError("server not started")
+        return f"{self.config.host}:{self.port}"
+
+    # -- lifecycle -------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener and start the daemon tick task."""
+        from ..obs.probes import attach_gateway_probes
+        attach_gateway_probes(self)
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._daemon_task = asyncio.get_running_loop().create_task(
+            self._daemon_loop())
+
+    async def stop(self) -> None:
+        """Stop listening and cancel the daemon task (state survives)."""
+        if self._daemon_task is not None:
+            self._daemon_task.cancel()
+            try:
+                await self._daemon_task
+            except asyncio.CancelledError:
+                pass
+            self._daemon_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _daemon_loop(self) -> None:
+        """Tick the shared daemons' pipeline on a wall-clock cadence."""
+        while True:
+            t0 = time.perf_counter()
+            self.core.run_daemon_passes()
+            self.metrics.histogram("gateway.daemon_tick_s",
+                                   buckets=RPC_BUCKETS).observe(
+                time.perf_counter() - t0)
+            await asyncio.sleep(self.config.daemon_period_s)
+
+    @classmethod
+    def in_thread(cls, config: GatewayConfig | None = None,
+                  state: GatewayState | None = None) -> "GatewayHandle":
+        """Run a gateway on a fresh event loop in a daemon thread.
+
+        The blocking-world entry point used by doctests, tests, and
+        ``repro loadgen --self-host``: returns a :class:`GatewayHandle`
+        once the listener is bound.
+        """
+        server = cls(config=config, state=state)
+        started = threading.Event()
+        loop = asyncio.new_event_loop()
+
+        def _run() -> None:
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(server.start())
+            started.set()
+            loop.run_forever()
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+        thread = threading.Thread(target=_run, name="gateway", daemon=True)
+        thread.start()
+        started.wait()
+        return GatewayHandle(server, loop, thread)
+
+    # -- HTTP framing ----------------------------------------------------------
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        """Serve one keep-alive connection until EOF or ``Connection: close``."""
+        self.connections_active += 1
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                t0 = time.perf_counter()
+                status, reply_headers, payload = self._route(
+                    method, path, headers, body)
+                self._observe(method, path, time.perf_counter() - t0,
+                              status)
+                await self._write_response(writer, status, reply_headers,
+                                           payload)
+                if headers.get("connection", "").lower() == "close":
+                    break
+        except (asyncio.IncompleteReadError, ConnectionError,
+                asyncio.LimitOverrunError):
+            self.metrics.counter("gateway.disconnects_total").inc()
+        finally:
+            self.connections_active -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+            self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
+        """Parse one HTTP/1.1 request; None on clean EOF between requests."""
+        try:
+            line = await reader.readline()
+        except ValueError:  # header line over the stream limit
+            raise asyncio.LimitOverrunError("header too long", 0)
+        if not line:
+            return None
+        parts = line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise ConnectionError(f"malformed request line {line!r}")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if len(line) > _MAX_HEADER_LINE:
+                raise ConnectionError("oversized header")
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        if not 0 <= length <= _MAX_BODY:
+            raise ConnectionError(f"bad content-length {length}")
+        body = await reader.readexactly(length) if length else b""
+        return method, target.split("?", 1)[0], headers, body
+
+    async def _write_response(self, writer: asyncio.StreamWriter,
+                              status: int, headers: dict[str, str],
+                              payload: bytes) -> None:
+        """Emit one HTTP/1.1 response with Content-Length framing."""
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed", 409: "Conflict",
+                  422: "Unprocessable Entity",
+                  503: "Service Unavailable"}.get(status, "OK")
+        lines = [f"HTTP/1.1 {status} {reason}",
+                 f"Content-Length: {len(payload)}"]
+        lines += [f"{k}: {v}" for k, v in headers.items()]
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + payload)
+        await writer.drain()
+
+    def _observe(self, method: str, path: str, elapsed: float,
+                 status: int) -> None:
+        """Per-RPC latency + outcome accounting into the obs registry."""
+        family = self._route_family(path)
+        self.metrics.histogram(f"gateway.rpc.{family}_s",
+                               buckets=RPC_BUCKETS).observe(elapsed)
+        self.metrics.counter("gateway.http_requests_total").inc()
+        if status >= 400:
+            self.metrics.counter("gateway.http_errors_total").inc()
+
+    @staticmethod
+    def _route_family(path: str) -> str:
+        """Collapse a request path to its metric family name."""
+        if path == "/rpc/scheduler":
+            return "scheduler"
+        if path == "/rpc/register":
+            return "register"
+        if path.startswith("/data/"):
+            return "data"
+        if path.startswith("/upload/"):
+            return "upload"
+        if path == "/jobs" or path.startswith("/jobs/"):
+            return "jobs"
+        return "other"
+
+    # -- routing ---------------------------------------------------------------
+    def _route(self, method: str, path: str, headers: dict[str, str],
+               body: bytes) -> tuple[int, dict[str, str], bytes]:
+        """Dispatch one request; returns (status, headers, payload)."""
+        try:
+            if path == "/rpc/register":
+                return self._require_post(method) or self._rpc_register(body)
+            if path == "/rpc/scheduler":
+                return self._require_post(method) or self._rpc_scheduler(body)
+            if path.startswith("/data/"):
+                return self._require_get(method) or self._data_get(
+                    path[len("/data/"):])
+            if path.startswith("/upload/"):
+                return self._require_post(method) or self._upload(
+                    path[len("/upload/"):], headers, body)
+            if path == "/jobs":
+                return self._require_post(method) or self._job_submit(body)
+            if path.startswith("/jobs/") and path.endswith("/output"):
+                return self._require_get(method) or self._job_output(
+                    path[len("/jobs/"):-len("/output")])
+            if path.startswith("/jobs/"):
+                return self._require_get(method) or self._job_status(
+                    path[len("/jobs/"):])
+            if path == "/status":
+                return self._require_get(method) or self._status()
+            if path == "/healthz":
+                return self._require_get(method) or self._json(
+                    200, {"ok": True, "version": protocol.PROTOCOL_VERSION})
+            return self._error("not_found", f"no route {path!r}")
+        except ServerUnavailable:
+            return self._error("unavailable", "server refusing; retry",
+                               retry_after_s=self.config.retry_after_s)
+        except (ValueError, KeyError, TypeError) as exc:
+            return self._error("bad_request", f"{type(exc).__name__}: {exc}")
+
+    @staticmethod
+    def _require_post(method: str) -> tuple[int, dict, bytes] | None:
+        """405 error triple unless *method* is POST."""
+        if method != "POST":
+            status, body = protocol.error_body(
+                "method_not_allowed", "use POST")
+            return status, {"Content-Type": "application/json"}, body
+        return None
+
+    @staticmethod
+    def _require_get(method: str) -> tuple[int, dict, bytes] | None:
+        """405 error triple unless *method* is GET."""
+        if method != "GET":
+            status, body = protocol.error_body(
+                "method_not_allowed", "use GET")
+            return status, {"Content-Type": "application/json"}, body
+        return None
+
+    @staticmethod
+    def _json(status: int, payload: _t.Any) -> tuple[int, dict, bytes]:
+        """A JSON response triple."""
+        return (status, {"Content-Type": "application/json"},
+                protocol.dumps(payload))
+
+    def _error(self, code: str, detail: str,
+               retry_after_s: float | None = None
+               ) -> tuple[int, dict, bytes]:
+        """An ``Error``-schema response triple for *code*."""
+        status, body = protocol.error_body(code, detail, retry_after_s)
+        headers = {"Content-Type": "application/json"}
+        if retry_after_s is not None:
+            headers["Retry-After"] = f"{retry_after_s:g}"
+        return status, headers, body
+
+    def _validated(self, schema: str, body: bytes) -> dict:
+        """Decode + schema-check a JSON request body (ValueError on fail)."""
+        payload = protocol.loads(body)
+        problems = protocol.validate(schema, payload)
+        if problems:
+            raise ValueError("; ".join(problems))
+        return payload
+
+    # -- control plane ---------------------------------------------------------
+    def _rpc_register(self, body: bytes) -> tuple[int, dict, bytes]:
+        """``POST /rpc/register``: host registration, idempotent by name."""
+        req = self._validated("RegisterRequest", body)
+        if not self.core.available:
+            raise ServerUnavailable("registration refused")
+        for rec in self.core.db.hosts.values():
+            if rec.name == req["name"]:
+                host_id = rec.id
+                break
+        else:
+            host_id = self.core.register_host(
+                req["name"], float(req["flops"]),
+                supports_mr=req.get("supports_mr", True)).id
+        return self._json(200, {
+            "host_id": host_id,
+            "request_delay_s": self.config.request_delay_s,
+        })
+
+    def _rpc_scheduler(self, body: bytes) -> tuple[int, dict, bytes]:
+        """``POST /rpc/scheduler``: reports in, assignments out."""
+        req = self._validated("WorkRequest", body)
+        if req["host_id"] not in self.core.db.hosts:
+            return self._error("unknown_host",
+                               f"host {req['host_id']} not registered")
+        reports = []
+        for rep in req.get("reports", []):
+            res = self.core.db.results.get(rep["result_id"])
+            if res is None or res.host_id != req["host_id"] or \
+                    res.reported_at is not None:
+                # Replayed/stale report: BOINC drops these silently, the
+                # gateway additionally counts them (idempotency metric).
+                self.metrics.counter(
+                    "gateway.duplicate_reports_total").inc()
+                continue
+            output = None
+            if rep["success"]:
+                files = tuple(FileRef(f["name"], float(f["size"]))
+                              for f in rep.get("output_files", []))
+                output = OutputData(digest=rep.get("digest") or "",
+                                    files=files)
+            reports.append(ReportedResult(
+                result_id=rep["result_id"], success=rep["success"],
+                output=output, elapsed_s=float(rep["elapsed_s"])))
+        reply = self.core.handle_scheduler_request(SchedulerRequest(
+            host_id=req["host_id"], work_req_s=float(req["work_req_s"]),
+            reports=reports))
+        return self._json(200, self._encode_reply(reply))
+
+    def _encode_reply(self, reply: SchedulerReply) -> dict:
+        """Serialise a core :class:`SchedulerReply` into a wire ``WorkReply``."""
+        tasks = []
+        for a in reply.assignments:
+            params = self.jobs.task_params(a.wu)
+            tasks.append({
+                "result_id": a.result_id, "wu_id": a.wu.id,
+                "app": a.wu.app_name,
+                "input_files": [f.name for f in a.wu.input_files],
+                "est_runtime_s": a.est_runtime_s, "deadline": a.deadline,
+                **params,
+            })
+        return {"assignments": tasks,
+                "request_delay_s": reply.request_delay_s,
+                "no_work": reply.no_work}
+
+    # -- data plane ------------------------------------------------------------
+    def _data_get(self, name: str) -> tuple[int, dict, bytes]:
+        """``GET /data/{name}``: blob bytes + checksum header."""
+        try:
+            data = self.store.fetch(name)
+        except FileMissing:
+            return self._error("not_found", f"no blob {name!r}")
+        return (200, {"Content-Type": "application/octet-stream",
+                      protocol.CHECKSUM_HEADER: self.store.checksum_of(name)},
+                data)
+
+    def _upload(self, rest: str, headers: dict[str, str],
+                body: bytes) -> tuple[int, dict, bytes]:
+        """``POST /upload/{result_id}/{name}``: checksum-verified ingest."""
+        result_id_s, _, name = rest.partition("/")
+        if not result_id_s.isdigit() or not name:
+            return self._error("bad_request",
+                               "upload path must be /upload/<id>/<name>")
+        result_id = int(result_id_s)
+        if result_id not in self.core.db.results:
+            return self._error("unknown_result",
+                               f"result {result_id} was never issued")
+        claimed = headers.get(protocol.CHECKSUM_HEADER.lower())
+        actual = protocol.checksum(body)
+        if claimed is not None and claimed != actual:
+            self.metrics.counter("gateway.bad_checksum_total").inc()
+            return self._error("checksum_mismatch",
+                               f"claimed {claimed}, got {actual}")
+        self.store.put(name, body)
+        self.core.record_upload(result_id)
+        self.metrics.counter("gateway.uploads_total").inc()
+        return self._json(200, {"received": True, "result_id": result_id,
+                                "name": name, "size": len(body)})
+
+    # -- job plane -------------------------------------------------------------
+    def _job_submit(self, body: bytes) -> tuple[int, dict, bytes]:
+        """``POST /jobs``: generate corpus, split, submit map workunits."""
+        spec = self._validated("JobRequest", body)
+        if spec["name"] in self.jobs.jobs:
+            return self._error("bad_request",
+                               f"job {spec['name']!r} already exists")
+        if spec["app"] not in APP_REGISTRY:
+            return self._error("bad_request",
+                               f"unknown app {spec['app']!r}")
+        job = self.jobs.submit_spec(spec)
+        return self._json(200, {"name": job.name, "n_maps": job.n_maps,
+                                "n_reducers": job.n_reducers,
+                                "workunits": job.n_maps})
+
+    def _job_status(self, name: str) -> tuple[int, dict, bytes]:
+        """``GET /jobs/{name}``: the job's wire status."""
+        job = self.jobs.jobs.get(name)
+        if job is None:
+            return self._error("not_found", f"no job {name!r}")
+        return self._json(200, job.status())
+
+    def _job_output(self, name: str) -> tuple[int, dict, bytes]:
+        """``GET /jobs/{name}/output``: reclaim the merged payload."""
+        job = self.jobs.jobs.get(name)
+        if job is None:
+            return self._error("not_found", f"no job {name!r}")
+        if job.state != "done" or job.output_payload is None:
+            return self._error("not_ready",
+                               f"job {name!r} is {job.state}")
+        return (200, {"Content-Type": "application/octet-stream",
+                      protocol.CHECKSUM_HEADER:
+                          protocol.checksum(job.output_payload)},
+                job.output_payload)
+
+    # -- introspection ---------------------------------------------------------
+    def _status(self) -> tuple[int, dict, bytes]:
+        """``GET /status``: the BOINC server-status page, JSON edition."""
+        from ..obs.metrics import Counter
+        counters = {i.name: i.value for i in self.metrics.instruments()
+                    if isinstance(i, Counter)}
+        return self._json(200, {
+            "now": self.core.now,
+            "counts": self.core.db.counts(),
+            "counters": counters,
+            "jobs": self.jobs.statuses(),
+        })
+
+
+class GatewayHandle:
+    """Blocking-world handle to a gateway running on a background thread.
+
+    What :meth:`GatewayServer.in_thread` returns: thread-safe job
+    submission, result reclaim, and shutdown for doctests, pytest, and
+    the self-hosting load harness.
+    """
+
+    def __init__(self, server: GatewayServer, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread) -> None:
+        """Wrap a started *server* owned by *loop* on *thread*."""
+        self.server = server
+        self.loop = loop
+        self.thread = thread
+
+    @property
+    def address(self) -> str:
+        """``host:port`` for clients to dial."""
+        return self.server.address
+
+    def submit_job(self, name: str, app: str, data: bytes, n_maps: int,
+                   n_reducers: int, replication: int = 1,
+                   quorum: int = 1) -> GatewayJob:
+        """Submit a job with explicit input bytes (thread-safe)."""
+
+        async def _submit() -> GatewayJob:
+            return self.server.jobs.submit(
+                name, app, data, n_maps=n_maps, n_reducers=n_reducers,
+                replication=replication, quorum=quorum)
+
+        return asyncio.run_coroutine_threadsafe(_submit(),
+                                                self.loop).result(30.0)
+
+    def result(self, name: str, timeout: float = 60.0) -> dict:
+        """Block until job *name* finishes, then return its merged output."""
+        job = self.server.jobs.jobs[name]
+        if not job.finished.wait(timeout):
+            raise TimeoutError(f"job {name!r} still {job.state} "
+                               f"after {timeout}s")
+        if job.state != "done" or job.output_payload is None:
+            raise RuntimeError(f"job {name!r} failed: {job.error}")
+        return decode_payload(job.output_payload)
+
+    def close(self) -> None:
+        """Stop the server and join its thread (state is preserved)."""
+        if not self.loop.is_closed():
+            asyncio.run_coroutine_threadsafe(self.server.stop(),
+                                             self.loop).result(10.0)
+            self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(10.0)

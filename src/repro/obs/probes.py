@@ -25,6 +25,7 @@ from .metrics import MetricsRegistry
 if _t.TYPE_CHECKING:  # pragma: no cover
     from ..campaign.coordinator import CampaignCoordinator
     from ..core.system import VolunteerCloud
+    from ..gateway.server import GatewayServer
 
 
 def attach_standard_probes(cloud: "VolunteerCloud",
@@ -108,6 +109,40 @@ def attach_coordinator_probes(coordinator: "CampaignCoordinator",
         reg.gauge(f"campaign.cells.{status}",
                   f"campaign cells currently {status}",
                   fn=lambda s=status: table.count(s))
+    return reg
+
+
+def attach_gateway_probes(gateway: "GatewayServer",
+                          registry: MetricsRegistry | None = None
+                          ) -> MetricsRegistry:
+    """Register live-deployment gauges for a :class:`repro.gateway.GatewayServer`.
+
+    The wall-clock analogue of :func:`attach_standard_probes`: open HTTP
+    connections, feeder-cache occupancy, database occupancy (hosts,
+    unsent / in-progress results), blob-store size, and running jobs.
+    Idempotent per registry; returns the registry the probes were
+    attached to (``gateway.metrics`` by default).
+    """
+    from ..boinc.model import ResultState
+
+    reg = registry if registry is not None else gateway.metrics
+    core = gateway.core
+    reg.gauge("gateway.connections_active", "open HTTP connections",
+              fn=lambda: gateway.connections_active)
+    reg.gauge("daemon.feeder.cache_visible", "results in the feeder cache",
+              fn=lambda: len(core._feeder_visible))
+    reg.gauge("gateway.hosts", "registered volunteer hosts",
+              fn=lambda: len(core.db.hosts))
+    reg.gauge("gateway.results_unsent", "results waiting for a host",
+              fn=lambda: len(core.db.unsent_results()))
+    reg.gauge("gateway.results_in_progress", "results out on lease",
+              fn=lambda: sum(1 for r in core.db.results.values()
+                             if r.state is ResultState.IN_PROGRESS))
+    reg.gauge("gateway.blobs", "blobs held by the store",
+              fn=lambda: len(gateway.store))
+    reg.gauge("gateway.jobs_running", "live jobs not yet sealed",
+              fn=lambda: sum(1 for j in gateway.jobs.jobs.values()
+                             if j.state == "running"))
     return reg
 
 

@@ -1,0 +1,70 @@
+"""Load-harness tests: small-fleet replay with the full gate set."""
+
+import numpy as np
+
+from repro.gateway import LoadConfig, LoadReport, run_loadgen
+from repro.gateway.loadgen import (
+    client_schedule,
+    oracle_payload,
+    percentiles_ms,
+)
+
+
+class TestSchedules:
+    def test_deterministic_per_seed(self):
+        cfg = LoadConfig(seed=9, duration_s=4.0)
+        assert client_schedule(3, cfg) == client_schedule(3, cfg)
+        assert client_schedule(3, cfg) != client_schedule(4, cfg)
+
+    def test_instants_inside_run_window(self):
+        cfg = LoadConfig(seed=2, duration_s=5.0, polls_per_client=6)
+        for index in range(20):
+            for t in client_schedule(index, cfg):
+                assert 0.0 <= t < cfg.duration_s
+
+    def test_sorted(self):
+        sched = client_schedule(0, LoadConfig(seed=1))
+        assert sched == sorted(sched)
+
+
+class TestPercentiles:
+    def test_exact_values(self):
+        samples = [i / 1000.0 for i in range(1, 101)]  # 1ms..100ms
+        p = percentiles_ms(samples)
+        assert p["max"] == 100.0
+        assert 50.0 <= p["p50"] <= 51.0
+        assert 99.0 <= p["p99"] <= 100.0
+
+    def test_empty(self):
+        assert percentiles_ms([]) == {"p50": 0.0, "p90": 0.0,
+                                      "p99": 0.0, "max": 0.0}
+
+
+class TestOracle:
+    def test_oracle_is_deterministic(self):
+        cfg = LoadConfig(corpus_bytes=20_000, n_maps=3, n_reducers=2)
+        assert oracle_payload(cfg) == oracle_payload(cfg)
+
+    def test_oracle_depends_on_seed(self):
+        a = LoadConfig(corpus_bytes=20_000, seed=1)
+        b = LoadConfig(corpus_bytes=20_000, seed=2)
+        assert oracle_payload(a) != oracle_payload(b)
+
+
+class TestSmallReplay:
+    def test_25_client_replay_hits_every_gate(self):
+        report = run_loadgen(config=LoadConfig(
+            n_clients=25, duration_s=2.5, polls_per_client=4, seed=3,
+            corpus_bytes=40_000, n_maps=4, n_reducers=2,
+            replication=2, quorum=2, drain_s=30.0))
+        assert isinstance(report, LoadReport)
+        assert report.job_state == "done"
+        assert report.errors == 0
+        assert report.lost_results == 0
+        assert report.duplicated_results == 0
+        assert report.equivalent
+        assert report.rpcs >= 25  # every client got at least one poll in
+        assert report.latency_ms["p99"] >= report.latency_ms["p50"] >= 0
+        doc = report.to_dict()
+        assert doc["kind"] == "gateway"
+        assert np.isfinite(doc["latency_ms"]["p99"])

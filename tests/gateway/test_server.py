@@ -1,0 +1,301 @@
+"""Live gateway server tests, including the hard failure paths:
+
+- client disconnect mid-upload (no partial blob may land);
+- duplicate result report (idempotent accept, counted, single assimilate);
+- server restart with in-flight leases (state adoption + lease expiry).
+"""
+
+import collections
+import socket
+import time
+
+import pytest
+
+from repro.boinc.model import ResultState
+from repro.gateway import (
+    GatewayClient,
+    GatewayConfig,
+    GatewayError,
+    GatewayServer,
+    execute_task,
+    run_volunteer,
+)
+from repro.gateway import protocol
+from repro.workloads import generate_corpus
+
+
+@pytest.fixture()
+def handle():
+    h = GatewayServer.in_thread(GatewayConfig(daemon_period_s=0.01))
+    yield h
+    h.close()
+
+
+@pytest.fixture()
+def client(handle):
+    c = GatewayClient(handle.address)
+    yield c
+    c.close()
+
+
+def _poll_for_assignment(client, host_id, tries=200):
+    """Poll the scheduler until it hands out at least one task."""
+    for _ in range(tries):
+        reply = client.scheduler_rpc(host_id, work_req_s=1.0)
+        if reply["assignments"]:
+            return reply["assignments"]
+        time.sleep(0.01)
+    raise AssertionError("no assignment within the polling budget")
+
+
+class TestBasics:
+    def test_healthz(self, client):
+        doc = client.health()
+        assert doc == {"ok": True, "version": protocol.PROTOCOL_VERSION}
+
+    def test_register_is_idempotent_by_name(self, client):
+        a = client.register("twin", flops=1e9)
+        b = client.register("twin", flops=1e9)
+        assert a == b
+
+    def test_scheduler_unknown_host(self, client):
+        with pytest.raises(GatewayError) as err:
+            client.scheduler_rpc(999, work_req_s=1.0)
+        assert err.value.code == "unknown_host"
+
+    def test_data_not_found(self, client):
+        with pytest.raises(GatewayError) as err:
+            client.download("no-such-blob")
+        assert err.value.code == "not_found"
+
+    def test_download_has_checksum_header(self, handle, client):
+        handle.server.store.put("blob", b"payload")
+        assert client.download("blob") == b"payload"
+
+    def test_method_not_allowed(self, client):
+        with pytest.raises(GatewayError) as err:
+            client.request("GET", "/rpc/scheduler")
+        assert err.value.code == "method_not_allowed"
+        assert err.value.status == 405
+
+    def test_bad_request_body(self, client):
+        with pytest.raises(GatewayError) as err:
+            client.request("POST", "/rpc/register", b"not json",
+                           {"Content-Type": "application/json"})
+        assert err.value.code == "bad_request"
+
+    def test_schema_violation_rejected(self, client):
+        with pytest.raises(GatewayError) as err:
+            client.request("POST", "/rpc/register",
+                           protocol.dumps({"name": "x"}))
+        assert err.value.code == "bad_request"
+        assert "flops" in err.value.detail
+
+    def test_unknown_route(self, client):
+        with pytest.raises(GatewayError) as err:
+            client.request("GET", "/nope")
+        assert err.value.code == "not_found"
+
+    def test_status_page(self, handle, client):
+        client.register("probe", flops=1e9)
+        doc = client.status()
+        assert protocol.validate("StatusReply", doc) == []
+        assert doc["counts"]["hosts"] == 1
+
+    def test_unavailable_maps_to_503_with_retry_after(self, handle):
+        client = GatewayClient(handle.address, retries=1)
+        host_id = client.register("flaky", flops=1e9)
+        handle.server.core.available = False
+        with pytest.raises(GatewayError) as err:
+            client.scheduler_rpc(host_id, work_req_s=1.0)
+        assert err.value.status == 503
+        assert err.value.retry_after_s > 0
+        handle.server.core.available = True
+        assert client.scheduler_rpc(host_id, work_req_s=1.0)["no_work"] \
+            in (True, False)
+        client.close()
+
+    def test_unknown_job_app_rejected(self, client):
+        with pytest.raises(GatewayError) as err:
+            client.submit_job("j", "no-such-app", 1000, 1, 1, 1)
+        assert err.value.code == "bad_request"
+
+
+class TestEndToEnd:
+    def test_single_volunteer_completes_job(self, handle):
+        corpus = generate_corpus(20_000, seed=3)
+        handle.submit_job("wc", "wordcount", corpus, n_maps=3, n_reducers=2)
+        stats = run_volunteer(handle.address, name="solo", idle_limit=30)
+        assert stats.tasks_done == 5  # 3 maps + 2 reduces
+        out = handle.result("wc", timeout=10)
+        assert out == dict(collections.Counter(corpus.split()))
+
+    def test_quorum_two_needs_two_hosts(self, handle):
+        corpus = generate_corpus(8_000, seed=4)
+        handle.submit_job("q2", "wordcount", corpus, n_maps=2,
+                          n_reducers=1, replication=2, quorum=2)
+        # One host may hold at most one replica of a workunit, and the
+        # reduce replicas only exist after both map replicas validate —
+        # so keep sending fresh volunteer identities until the job seals.
+        job = handle.server.jobs.jobs["q2"]
+        for i in range(8):
+            run_volunteer(handle.address, name=f"rep-{i}", idle_limit=15)
+            if job.finished.is_set():
+                break
+        out = handle.result("q2", timeout=10)
+        assert out == dict(collections.Counter(corpus.split()))
+        job = handle.server.jobs.jobs["q2"]
+        assert job.assimilated == 3  # each WU exactly once despite 2 replicas
+
+    def test_job_status_and_output_endpoints(self, handle, client):
+        corpus = generate_corpus(5_000, seed=5)
+        handle.submit_job("st", "wordcount", corpus, n_maps=1, n_reducers=1)
+        status = client.job_status("st")
+        assert protocol.validate("JobStatus", status) == []
+        assert status["state"] == "running"
+        with pytest.raises(GatewayError) as err:
+            client.job_output("st")
+        assert err.value.code == "not_ready"
+        run_volunteer(handle.address, name="worker", idle_limit=20)
+        handle.result("st", timeout=10)
+        payload = client.job_output("st")
+        assert payload == handle.server.jobs.jobs["st"].output_payload
+
+
+class TestDisconnectMidUpload:
+    def test_partial_upload_leaves_no_blob(self, handle, client):
+        corpus = generate_corpus(5_000, seed=6)
+        handle.submit_job("cut", "wordcount", corpus, n_maps=1, n_reducers=1)
+        host_id = client.register("cutter", flops=1e9)
+        task = _poll_for_assignment(client, host_id)[0]
+        result_id = task["result_id"]
+
+        host, port = handle.address.split(":")
+        raw = socket.create_connection((host, int(port)))
+        raw.sendall((f"POST /upload/{result_id}/cut.m0.p0 HTTP/1.1\r\n"
+                     "Content-Length: 1000\r\n\r\n").encode())
+        raw.sendall(b"x" * 100)  # 10% of the promised body, then vanish
+        raw.close()
+
+        deadline = time.time() + 5.0
+        while (handle.server.metrics.counter(
+                "gateway.disconnects_total").value < 1
+               and time.time() < deadline):
+            time.sleep(0.01)
+        assert handle.server.metrics.counter(
+            "gateway.disconnects_total").value >= 1
+        assert not handle.server.store.has("cut.m0.p0")
+        res = handle.server.core.db.results[result_id]
+        assert res.received_at is None
+
+        # The client retries the whole task: upload + report still work.
+        report = execute_task(client, task)
+        client.scheduler_rpc(host_id, work_req_s=0.0, reports=[report])
+        run_volunteer(handle.address, name="finisher", idle_limit=20)
+        out = handle.result("cut", timeout=10)
+        assert out == dict(collections.Counter(corpus.split()))
+
+    def test_checksum_mismatch_rejected(self, handle, client):
+        corpus = generate_corpus(4_000, seed=7)
+        handle.submit_job("ck", "wordcount", corpus, n_maps=1, n_reducers=1)
+        host_id = client.register("checker", flops=1e9)
+        task = _poll_for_assignment(client, host_id)[0]
+        with pytest.raises(GatewayError) as err:
+            client.request(
+                "POST", f"/upload/{task['result_id']}/ck.m0.p0",
+                b"real bytes",
+                {protocol.CHECKSUM_HEADER: "crc32:00000000"})
+        assert err.value.code == "checksum_mismatch"
+        assert not handle.server.store.has("ck.m0.p0")
+
+    def test_upload_for_unissued_result(self, handle, client):
+        with pytest.raises(GatewayError) as err:
+            client.upload(424242, "orphan", b"data")
+        assert err.value.code == "unknown_result"
+
+
+class TestDuplicateReport:
+    def test_replayed_report_is_dropped_and_counted(self, handle, client):
+        corpus = generate_corpus(6_000, seed=8)
+        handle.submit_job("dup", "wordcount", corpus, n_maps=1, n_reducers=1)
+        host_id = client.register("replayer", flops=1e9)
+        task = _poll_for_assignment(client, host_id)[0]
+        report = execute_task(client, task)
+        client.scheduler_rpc(host_id, work_req_s=0.0, reports=[report])
+        # Network flake: the client re-sends the same report.
+        client.scheduler_rpc(host_id, work_req_s=0.0, reports=[report])
+        assert handle.server.metrics.counter(
+            "gateway.duplicate_reports_total").value == 1
+
+        run_volunteer(handle.address, name="closer", idle_limit=20)
+        out = handle.result("dup", timeout=10)
+        assert out == dict(collections.Counter(corpus.split()))
+        assert handle.server.jobs.jobs["dup"].assimilated == 2
+
+    def test_report_for_foreign_result_dropped(self, handle, client):
+        corpus = generate_corpus(6_000, seed=9)
+        handle.submit_job("f", "wordcount", corpus, n_maps=1, n_reducers=1)
+        mine = client.register("honest", flops=1e9)
+        thief = client.register("thief", flops=1e9)
+        task = _poll_for_assignment(client, mine)[0]
+        report = execute_task(client, task)
+        # The wrong host tries to claim the result: dropped + counted.
+        client.scheduler_rpc(thief, work_req_s=0.0, reports=[report])
+        assert handle.server.metrics.counter(
+            "gateway.duplicate_reports_total").value == 1
+        res = handle.server.core.db.results[task["result_id"]]
+        assert res.state is ResultState.IN_PROGRESS  # lease still honest's
+        client.scheduler_rpc(mine, work_req_s=0.0, reports=[report])
+        assert res.state is ResultState.OVER
+
+
+class TestRestartWithLeases:
+    def test_state_survives_restart_and_lease_completes(self):
+        first = GatewayServer.in_thread(GatewayConfig(daemon_period_s=0.01))
+        corpus = generate_corpus(6_000, seed=10)
+        first.submit_job("boot", "wordcount", corpus, n_maps=1, n_reducers=1)
+        client = GatewayClient(first.address)
+        host_id = client.register("survivor", flops=1e9)
+        task = _poll_for_assignment(client, host_id)[0]
+        client.close()
+        state = first.server.state
+        first.close()  # gateway down; the lease is still in flight
+
+        second = GatewayServer.in_thread(state=state)
+        try:
+            res = second.server.core.db.results[task["result_id"]]
+            assert res.state is ResultState.IN_PROGRESS
+            client = GatewayClient(second.address)
+            assert client.register("survivor", flops=1e9) == host_id
+            report = execute_task(client, task)
+            client.scheduler_rpc(host_id, work_req_s=0.0, reports=[report])
+            client.close()
+            run_volunteer(second.address, name="post-restart",
+                          idle_limit=20)
+            out = second.result("boot", timeout=10)
+            assert out == dict(collections.Counter(corpus.split()))
+        finally:
+            second.close()
+
+    def test_abandoned_lease_expires_and_is_reissued(self):
+        handle = GatewayServer.in_thread(GatewayConfig(
+            daemon_period_s=0.01, delay_bound_s=0.3))
+        try:
+            corpus = generate_corpus(6_000, seed=11)
+            handle.submit_job("aband", "wordcount", corpus,
+                              n_maps=1, n_reducers=1)
+            client = GatewayClient(handle.address)
+            ghost = client.register("ghost", flops=1e9)
+            task = _poll_for_assignment(client, ghost)[0]
+            client.close()
+            # The ghost never reports; past the delay bound the shared
+            # transitioner times the lease out and creates a fresh replica.
+            time.sleep(0.5)
+            run_volunteer(handle.address, name="rescuer", idle_limit=30)
+            out = handle.result("aband", timeout=15)
+            assert out == dict(collections.Counter(corpus.split()))
+            from repro.boinc.model import ResultOutcome
+            res = handle.server.core.db.results[task["result_id"]]
+            assert res.outcome is ResultOutcome.NO_REPLY
+        finally:
+            handle.close()

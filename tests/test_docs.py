@@ -1,11 +1,14 @@
 """Tier-1 gates for the documentation layer.
 
-Three enforcement points keep the docs from drifting away from the code:
+Four enforcement points keep the docs from drifting away from the code:
 
 - ``docs/check_docstrings.py`` — every public module/class documented,
   function coverage above its ratchet floor;
 - ``docs/gen_api.py --check`` — the committed ``docs/api/*.md`` pages
   match a fresh render and no docstring cross-reference is broken;
+- ``docs/protocol.md`` — every schema-annotated JSON example validates
+  against :data:`repro.gateway.protocol.SCHEMAS` and every served
+  route/error code is documented;
 - the README quickstart doctests — run here with
   :class:`DeprecationWarning` promoted to an error, so the front-page
   examples can never show a deprecated API.
@@ -14,12 +17,34 @@ Three enforcement points keep the docs from drifting away from the code:
 from __future__ import annotations
 
 import doctest
+import json
 import pathlib
+import re
 import subprocess
 import sys
 import warnings
 
+import pytest
+
+from repro.gateway import protocol
+
 REPO = pathlib.Path(__file__).resolve().parent.parent
+
+#: ``<!-- schema: Name -->`` followed by a fenced JSON block.
+_EXAMPLE_RE = re.compile(
+    r"<!--\s*schema:\s*(?P<schema>\w+)\s*-->\s*\n```json\n"
+    r"(?P<body>.*?)\n```",
+    re.DOTALL)
+
+
+def _protocol_doc() -> str:
+    return (REPO / "docs" / "protocol.md").read_text(encoding="utf-8")
+
+
+def _examples() -> list[tuple[str, str]]:
+    doc = _protocol_doc()
+    return [(m.group("schema"), m.group("body"))
+            for m in _EXAMPLE_RE.finditer(doc)]
 
 
 def _run(*argv: str) -> subprocess.CompletedProcess:
@@ -42,6 +67,60 @@ def test_api_reference_pages_are_committed():
     assert "index.md" in pages
     assert "repro.campaign.md" in pages
     assert len(pages) >= 10
+
+
+class TestProtocolSpec:
+    """docs/protocol.md is schema-validated against repro.gateway.protocol."""
+
+    def test_has_examples(self):
+        examples = _examples()
+        assert len(examples) >= 9, (
+            "docs/protocol.md lost its annotated JSON examples")
+
+    @pytest.mark.parametrize("schema,body", _examples(),
+                             ids=[s for s, _ in _examples()])
+    def test_every_example_validates(self, schema, body):
+        assert schema in protocol.SCHEMAS, (
+            f"example annotated with unknown schema {schema!r}")
+        payload = json.loads(body)
+        problems = protocol.validate(schema, payload)
+        assert not problems, (
+            f"docs/protocol.md example for {schema} does not conform: "
+            f"{problems}")
+
+    def test_every_endpoint_documented(self):
+        doc = _protocol_doc()
+        for ep in protocol.ENDPOINTS:
+            heading = f"### {ep.method} {ep.path}"
+            assert heading in doc, (
+                f"docs/protocol.md is missing a section for "
+                f"{ep.method} {ep.path}")
+
+    def test_every_error_code_documented(self):
+        doc = _protocol_doc()
+        for code, (status, _) in protocol.ERROR_CODES.items():
+            assert f"`{code}`" in doc, (
+                f"docs/protocol.md is missing error code {code!r}")
+            assert str(status) in doc
+
+    def test_reply_schemas_all_shown_as_examples(self):
+        shown = {schema for schema, _ in _examples()}
+        wire = {ep.request_schema for ep in protocol.ENDPOINTS}
+        wire |= {ep.reply_schema for ep in protocol.ENDPOINTS}
+        wire.discard(None)
+        wire.add("Error")
+        missing = wire - shown
+        assert not missing, (
+            f"docs/protocol.md has no JSON example for schema(s): "
+            f"{sorted(missing)}")
+
+    def test_checksum_examples_are_well_formed(self):
+        for value in re.findall(r"crc32:[0-9a-f]+", _protocol_doc()):
+            assert re.fullmatch(r"crc32:[0-9a-f]{8}", value), (
+                f"malformed checksum literal {value!r} in protocol.md")
+
+    def test_protocol_version_is_current(self):
+        assert f"(v{protocol.PROTOCOL_VERSION})" in _protocol_doc()
 
 
 def test_readme_doctests_clean_of_deprecations():
